@@ -1,0 +1,11 @@
+//! The paper's analysis toolkit: performance-impact indicators
+//! (Figure 5), Amdahl-style improvement decomposition (Table 3) and
+//! Spearman rank correlation (Table 5).
+
+mod amdahl;
+mod indicators;
+mod spearman;
+
+pub use amdahl::{bin_improvements, overall_improvement, BinImprovement};
+pub use indicators::{impact_indicators, EventImpact};
+pub use spearman::{spearman, spearman_critical_one_tail_p05, PAPER_CRITICAL_VALUE};

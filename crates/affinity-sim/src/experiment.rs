@@ -1,0 +1,292 @@
+//! Experiment configuration and the measurement harness.
+
+use serde::{Deserialize, Serialize};
+use sim_core::Result;
+use sim_cpu::CpuConfig;
+use sim_mem::MemoryConfig;
+use sim_net::NicConfig;
+use sim_prof::{FunctionRegistry, Profiler};
+use sim_tcp::StackConfig;
+
+use crate::machine::Machine;
+use crate::metrics::RunMetrics;
+use crate::mode::AffinityMode;
+use crate::workload::{Direction, Workload};
+
+/// Timing/capacity knobs of the machine model that are not part of any
+/// single substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tunables {
+    /// Socket send-buffer capacity in MSS segments.
+    pub send_buf_segments: u32,
+    /// Frames the peer keeps in flight toward the SUT (RX workload).
+    pub peer_window: u32,
+    /// Socket receive-buffer size in bytes: the advertised TCP window.
+    /// The peer stops sending when unread data plus in-flight frames
+    /// would exceed it.
+    pub rcv_buf_bytes: u64,
+    /// Round-trip latency to the client, in cycles (ACK return time).
+    pub rtt_cycles: u64,
+    /// Wire cost per byte in cycles (16 ≈ 1 Gbps at 2 GHz).
+    pub wire_cycles_per_byte: u64,
+    /// Interrupt-moderation timeout (flushes partial coalescing batches).
+    pub coalesce_flush_cycles: u64,
+    /// Interrupt delivery latency from device assertion to CPU flush.
+    pub irq_latency_cycles: u64,
+    /// Scheduler round-robin slice (compressed relative to Linux's 50 ms
+    /// epochs so short simulated runs still interleave tasks).
+    pub timeslice_cycles: u64,
+    /// Probability a device interrupt's machine clear is attributed to
+    /// the IRQ handler symbol itself rather than skidding into the
+    /// interrupted function.
+    pub skid_to_handler: f64,
+    /// Period of the periodic load balancer; 0 disables it (the Linux
+    /// 2.4 default — idle stealing and wake placement do the balancing).
+    pub balance_interval_cycles: u64,
+    /// Fixed cost of an address-space switch.
+    pub context_switch_cycles: u64,
+    /// Mean jitter between peer frame arrivals (cycles).
+    pub arrival_jitter_cycles: f64,
+    /// Pipeline flushes per device-interrupt delivery. Interrupt entry,
+    /// EOI and `iret` are all serializing on the P4's deep pipeline; the
+    /// paper's Figure 5 clear counts imply well over one flush per
+    /// interrupt.
+    pub clears_per_device_interrupt: u32,
+    /// Pipeline flushes per IPI received.
+    pub clears_per_ipi: u32,
+    /// Receive-side-scaling-style dynamic steering: the NIC directs each
+    /// connection's interrupts to the CPU where its consumer process
+    /// last ran — the future hardware the paper's conclusion sketches
+    /// ("adapters that can direct connections and interrupts,
+    /// dynamically, to a specific processor"). Overrides the static
+    /// IO-APIC route whenever the process has run somewhere.
+    pub dynamic_steering: bool,
+    /// Linux 2.6-style interrupt rotation period in cycles (0 = off):
+    /// every period, each vector's affinity moves to the next CPU —
+    /// the related-work scheme whose "cache inefficiencies are still
+    /// unavoidable".
+    pub irq_rotation_cycles: u64,
+    /// Probability that a transmitted frame is lost on the wire (the
+    /// paper's LAN is lossless; non-zero values exercise Reno recovery).
+    pub loss_rate: f64,
+    /// Retransmission timeout in cycles (compressed like the other
+    /// latencies so recovery fits the simulated windows).
+    pub rto_cycles: u64,
+    /// Margin (in interrupt-load fraction) by which a CPU may exceed the
+    /// least interrupt-loaded CPU and still attract wake-affine
+    /// hand-offs. A CPU carrying disproportionate interrupt work — the
+    /// no-affinity default CPU0 — repels processes instead.
+    pub irq_load_gate: f64,
+}
+
+impl Default for Tunables {
+    fn default() -> Self {
+        Tunables {
+            send_buf_segments: 64,
+            peer_window: 32,
+            rcv_buf_bytes: 64 * 1024,
+            rtt_cycles: 100_000,       // 50 µs at 2 GHz
+            wire_cycles_per_byte: 16,  // 1 Gbps
+            coalesce_flush_cycles: 24_000,
+            irq_latency_cycles: 2_000,
+            timeslice_cycles: 6_000_000,
+            skid_to_handler: 0.5,
+            balance_interval_cycles: 0,
+            context_switch_cycles: 1_200,
+            arrival_jitter_cycles: 200.0,
+            clears_per_device_interrupt: 3,
+            clears_per_ipi: 8,
+            irq_load_gate: 0.10,
+            dynamic_steering: false,
+            irq_rotation_cycles: 0,
+            loss_rate: 0.0,
+            rto_cycles: 400_000,
+        }
+    }
+}
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of CPUs (the paper's SUT has 2; §5 mentions 4P runs).
+    pub cpus: usize,
+    /// Number of NIC ports = connections = `ttcp` processes.
+    pub nics: usize,
+    /// Affinity mode under test.
+    pub mode: AffinityMode,
+    /// The `ttcp` workload.
+    pub workload: Workload,
+    /// RNG seed (runs are fully deterministic given the seed).
+    pub seed: u64,
+    /// Memory hierarchy geometry.
+    pub mem: MemoryConfig,
+    /// CPU model (frequency, event penalties).
+    pub cpu: CpuConfig,
+    /// TCP stack cost model.
+    pub stack: StackConfig,
+    /// NIC geometry and coalescing.
+    pub nic: NicConfig,
+    /// Machine-level knobs.
+    pub tunables: Tunables,
+}
+
+impl ExperimentConfig {
+    /// The paper's system under test: 2 CPUs, 8 NICs, 8 connections.
+    #[must_use]
+    pub fn paper_sut(direction: Direction, message_bytes: u64, mode: AffinityMode) -> Self {
+        ExperimentConfig {
+            cpus: 2,
+            nics: 8,
+            mode,
+            workload: Workload::steady_state(direction, message_bytes),
+            seed: 0x5EED,
+            mem: MemoryConfig::paper_sut(2),
+            cpu: CpuConfig::paper_sut(),
+            stack: StackConfig::paper(),
+            nic: NicConfig::default(),
+            tunables: Tunables::default(),
+        }
+    }
+
+    /// The §5 four-processor variant (4 CPUs, still 8 NICs).
+    #[must_use]
+    pub fn four_processor(direction: Direction, message_bytes: u64, mode: AffinityMode) -> Self {
+        let mut config = ExperimentConfig::paper_sut(direction, message_bytes, mode);
+        config.cpus = 4;
+        config.mem = MemoryConfig::paper_sut(4);
+        config
+    }
+
+    /// Shrinks the workload for fast tests.
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.workload = self.workload.quick();
+        self
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything a finished run yields: the numeric summary plus the full
+/// per-CPU, per-function profile needed for Table 1/3/4 rendering.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// Numeric summary.
+    pub metrics: RunMetrics,
+    /// Per-CPU, per-function event matrix (measurement window only).
+    pub profiler: Profiler,
+    /// Symbol table matching the profiler.
+    pub registry: FunctionRegistry,
+    /// Interrupt vectors in NIC order.
+    pub vectors: Vec<sim_core::IrqVector>,
+}
+
+/// Builds the machine, runs the workload to completion and returns the
+/// measured result.
+///
+/// # Errors
+///
+/// Returns a configuration error if the experiment description is
+/// invalid (bad masks, zero-size messages, …).
+///
+/// # Example
+///
+/// ```
+/// use affinity_sim::{AffinityMode, Direction, ExperimentConfig, run_experiment};
+///
+/// let config = ExperimentConfig::paper_sut(Direction::Rx, 1024, AffinityMode::Irq).quick();
+/// let result = run_experiment(&config)?;
+/// assert!(result.metrics.messages > 0);
+/// # Ok::<(), sim_core::SimError>(())
+/// ```
+pub fn run_experiment(config: &ExperimentConfig) -> Result<RunResult> {
+    let mut machine = Machine::new(config)?;
+    let metrics = machine.run();
+    Ok(RunResult {
+        config: config.clone(),
+        metrics,
+        profiler: machine.profiler().clone(),
+        registry: machine.registry().clone(),
+        vectors: machine.vectors().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sut_shape() {
+        let c = ExperimentConfig::paper_sut(Direction::Tx, 65536, AffinityMode::Full);
+        assert_eq!(c.cpus, 2);
+        assert_eq!(c.nics, 8);
+        assert_eq!(c.cpu.freq.hertz(), 2_000_000_000);
+        let four = ExperimentConfig::four_processor(Direction::Tx, 65536, AffinityMode::None);
+        assert_eq!(four.cpus, 4);
+        assert_eq!(four.nics, 8);
+    }
+
+    #[test]
+    fn quick_run_tx_completes() {
+        let config = ExperimentConfig::paper_sut(Direction::Tx, 4096, AffinityMode::Full).quick();
+        let result = run_experiment(&config).unwrap();
+        assert_eq!(
+            result.metrics.messages,
+            u64::from(config.workload.measure_messages) * 8
+        );
+        assert!(result.metrics.throughput_gbps() > 0.0);
+        assert!(result.metrics.bytes_moved > 0);
+    }
+
+    #[test]
+    fn quick_run_rx_completes() {
+        let config = ExperimentConfig::paper_sut(Direction::Rx, 4096, AffinityMode::None).quick();
+        let result = run_experiment(&config).unwrap();
+        assert!(result.metrics.messages > 0);
+        assert!(result.metrics.throughput_gbps() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let config = ExperimentConfig::paper_sut(Direction::Tx, 1024, AffinityMode::Irq).quick();
+        let a = run_experiment(&config).unwrap();
+        let b = run_experiment(&config).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn different_seeds_differ_slightly() {
+        let base = ExperimentConfig::paper_sut(Direction::Tx, 1024, AffinityMode::None).quick();
+        let a = run_experiment(&base).unwrap();
+        let b = run_experiment(&base.clone().with_seed(99)).unwrap();
+        // Same message count, but timing details may shift.
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+    }
+
+    #[test]
+    fn all_modes_run_both_directions() {
+        for mode in AffinityMode::ALL {
+            for dir in Direction::ALL {
+                let config = ExperimentConfig::paper_sut(dir, 1024, mode).quick();
+                let r = run_experiment(&config).unwrap();
+                assert!(r.metrics.messages > 0, "{mode} {dir} produced nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn four_processor_runs() {
+        let config =
+            ExperimentConfig::four_processor(Direction::Tx, 4096, AffinityMode::Full).quick();
+        let r = run_experiment(&config).unwrap();
+        assert_eq!(r.metrics.busy_cycles.len(), 4);
+        assert!(r.metrics.messages > 0);
+    }
+}

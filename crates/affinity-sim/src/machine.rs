@@ -1,0 +1,1048 @@
+//! The simulated system under test and its run loop.
+//!
+//! [`Machine`] wires the substrates into the paper's testbed: *N* CPUs
+//! sharing a coherent memory system, 8 NIC ports each carrying one
+//! long-lived `ttcp` connection, an IO-APIC routing the 8 interrupt
+//! vectors (named `0x19`–`0x27` as in the paper's Table 4), the
+//! scheduler, the IPI fabric and the modelled TCP stack.
+//!
+//! The run loop is a conservative discrete-event simulation: each CPU
+//! has a local clock advanced by the work it executes; device-side
+//! events (frame arrivals, wire transmissions, coalescing timers) live
+//! on a global queue and inject interrupts into whichever CPU the APIC
+//! routes them to. Device interrupts and IPIs flush the target pipeline
+//! — a machine clear charged at the paper's 500-cycle penalty and
+//! attributed, Oprofile-skid-style, either to the interrupt handler or
+//! to a cycle-weighted draw over the code recently executing on that
+//! CPU.
+
+use sim_core::{ConnectionId, CpuId, DeviceId, EventQueue, IrqVector, Result, SimRng, SimTime, TaskId};
+use sim_cpu::{ClearReason, Core, PerfCounters};
+use sim_mem::MemorySystem;
+use sim_net::{Nic, Peer, PeerConfig};
+use sim_os::{CpuMask, IoApic, IpiFabric, IpiKind, Scheduler, SchedulerConfig};
+use sim_prof::{FuncId, Profiler};
+use sim_tcp::{Bin, ExecCtx, TcpStack};
+
+use crate::experiment::ExperimentConfig;
+use crate::metrics::{BinBreakdown, RunMetrics};
+use crate::workload::Direction;
+
+/// The paper's NIC interrupt vectors (Table 4), reused cyclically for
+/// machines with more than eight NICs.
+pub const PAPER_VECTORS: [u32; 8] = [0x19, 0x1a, 0x1b, 0x1d, 0x23, 0x24, 0x25, 0x27];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A data frame from the peer arrives at a NIC (RX workload).
+    FrameArrival { nic: usize, bytes: u32 },
+    /// A peer ACK arrives at a NIC (TX workload).
+    AckArrival { nic: usize, acked: u32 },
+    /// The NIC transmits one queued frame (TX workload).
+    WireTx { nic: usize, bytes: u32 },
+    /// Interrupt-moderation timer for a NIC.
+    CoalesceFlush { nic: usize, armed_at: u64 },
+    /// Retransmission timeout for a lost frame.
+    RtoFire { nic: usize, bytes: u32 },
+    /// Linux 2.6-style periodic interrupt rotation.
+    IrqRotate,
+    /// Periodic scheduler load balancing.
+    LoadBalance,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockReason {
+    /// Sender waiting for send-buffer space.
+    TxSpace,
+    /// Receiver waiting for socket data.
+    RxData,
+}
+
+#[derive(Debug, Clone)]
+struct TaskRun {
+    task: TaskId,
+    conn: usize,
+    /// RX: bytes still missing from the current application message.
+    remaining: u64,
+    blocked: Option<BlockReason>,
+}
+
+/// The simulated system under test.
+#[derive(Debug)]
+pub struct Machine {
+    config: ExperimentConfig,
+    mem: MemorySystem,
+    cores: Vec<Core>,
+    clocks: Vec<u64>,
+    sched: Scheduler,
+    apic: IoApic,
+    ipi: IpiFabric,
+    nics: Vec<Nic>,
+    peers: Vec<Peer>,
+    stack: TcpStack,
+    prof: Profiler,
+    rng: SimRng,
+    events: EventQueue<Event>,
+    vectors: Vec<IrqVector>,
+
+    tasks: Vec<TaskRun>,
+    task_of_conn: Vec<usize>,
+    last_task_on: Vec<Option<TaskId>>,
+    run_since_sched: Vec<u64>,
+
+    nic_rx_pending: Vec<Vec<u32>>,
+    nic_ack_pending: Vec<u32>,
+    nic_ack_frames: Vec<u32>,
+    nic_txdone_pending: Vec<u32>,
+    nic_activity: Vec<u64>,
+    flush_armed: Vec<bool>,
+    wire_cursor: Vec<u64>,
+    tx_wire_offset: Vec<u64>,
+    peer_inflight: Vec<u32>,
+    last_softirq_cpu: Vec<Option<CpuId>>,
+    last_process_cpu: Vec<Option<CpuId>>,
+    /// Cycles each CPU has spent in interrupt context (top halves,
+    /// bottom halves, flush penalties) — drives the wake-affine gate.
+    irq_cycles: Vec<u64>,
+
+    // Measurement state.
+    total_messages: u64,
+    measured_messages: u64,
+    bytes_moved: u64,
+    measuring: bool,
+    done: bool,
+    measure_start: u64,
+    last_message_time: u64,
+
+    // Attribution fallbacks.
+    wake_up_func: FuncId,
+}
+
+impl Machine {
+    /// Builds the system under test from an experiment configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if the stack config is invalid or
+    /// an affinity mask cannot be applied.
+    pub fn new(config: &ExperimentConfig) -> Result<Self> {
+        let cpus = config.cpus;
+        let nics_n = config.nics;
+        let mut mem = MemorySystem::new(config.mem.clone());
+        let mut rng = SimRng::new(config.seed);
+
+        let vectors: Vec<IrqVector> = (0..nics_n)
+            .map(|i| {
+                let base = PAPER_VECTORS[i % PAPER_VECTORS.len()];
+                IrqVector::new(base + (i / PAPER_VECTORS.len()) as u32 * 0x10)
+            })
+            .collect();
+
+        let nics: Vec<Nic> = (0..nics_n)
+            .map(|i| {
+                Nic::new(
+                    DeviceId::new(i as u32),
+                    vectors[i],
+                    config.nic,
+                    &mut mem,
+                )
+            })
+            .collect();
+
+        let dma_regions: Vec<_> = nics.iter().map(Nic::rx_buffers).collect();
+        let stack = TcpStack::new(
+            config.stack.clone(),
+            &mut mem,
+            &dma_regions,
+            &vectors,
+            config.workload.message_bytes,
+        )?;
+
+        let mut apic = IoApic::new(cpus);
+        let mut sched = Scheduler::new(SchedulerConfig::new(cpus));
+
+        // Apply the affinity mode.
+        let home_cpu = |i: usize| CpuId::new((i * cpus / nics_n) as u32);
+        if config.mode.irq_split() {
+            for (i, &v) in vectors.iter().enumerate() {
+                apic.set_affinity(v, CpuMask::single(home_cpu(i)))?;
+            }
+        }
+        let mut tasks = Vec::new();
+        let mut task_of_conn = Vec::new();
+        for i in 0..nics_n {
+            let mask = if config.mode.processes_pinned() {
+                CpuMask::single(home_cpu(i))
+            } else {
+                CpuMask::all(cpus)
+            };
+            let task = sched.spawn(format!("ttcp{i}"), mask)?;
+            task_of_conn.push(tasks.len());
+            tasks.push(TaskRun {
+                task,
+                conn: i,
+                remaining: config.workload.message_bytes,
+                blocked: None,
+            });
+        }
+
+        let peers = (0..nics_n)
+            .map(|i| {
+                Peer::new(
+                    ConnectionId::new(i as u32),
+                    PeerConfig {
+                        ack_every: config.stack.ack_every,
+                        mss: config.stack.mss,
+                        jitter_cycles: config.tunables.arrival_jitter_cycles,
+                    },
+                    rng.fork(i as u64),
+                )
+            })
+            .collect();
+
+        let cores = (0..cpus)
+            .map(|c| Core::new(CpuId::new(c as u32), config.cpu))
+            .collect();
+
+        let wake_up_func = stack
+            .registry()
+            .lookup("__wake_up")
+            .expect("stack registers __wake_up");
+
+        Ok(Machine {
+            mem,
+            cores,
+            clocks: vec![0; cpus],
+            sched,
+            apic,
+            ipi: IpiFabric::new(cpus),
+            peers,
+            prof: Profiler::new(cpus),
+            rng,
+            events: EventQueue::new(),
+            tasks,
+            task_of_conn,
+            last_task_on: vec![None; cpus],
+            run_since_sched: vec![0; cpus],
+            nic_rx_pending: vec![Vec::new(); nics_n],
+            nic_ack_pending: vec![0; nics_n],
+            nic_ack_frames: vec![0; nics_n],
+            nic_txdone_pending: vec![0; nics_n],
+            nic_activity: vec![0; nics_n],
+            flush_armed: vec![false; nics_n],
+            wire_cursor: vec![0; nics_n],
+            tx_wire_offset: vec![0; nics_n],
+            peer_inflight: vec![0; nics_n],
+            last_softirq_cpu: vec![None; nics_n],
+            last_process_cpu: vec![None; nics_n],
+            irq_cycles: vec![0; cpus],
+            total_messages: 0,
+            measured_messages: 0,
+            bytes_moved: 0,
+            measuring: false,
+            done: false,
+            measure_start: 0,
+            last_message_time: 0,
+            wake_up_func,
+            nics,
+            stack,
+            vectors,
+            config: config.clone(),
+        })
+    }
+
+    fn push_event(&mut self, at: u64, event: Event) {
+        let at = at.max(self.events.now().cycles());
+        self.events.push(SimTime::from_cycles(at), event);
+    }
+
+    fn wire_time(&self, payload: u32) -> u64 {
+        u64::from(payload + 66) * self.config.tunables.wire_cycles_per_byte
+    }
+
+    fn arm_flush(&mut self, nic: usize, at: u64) {
+        if !self.flush_armed[nic] {
+            self.flush_armed[nic] = true;
+            self.push_event(
+                at + self.config.tunables.coalesce_flush_cycles,
+                Event::CoalesceFlush { nic, armed_at: at },
+            );
+        }
+    }
+
+    /// Runs the workload to completion and returns the measured metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an internal deadlock (no runnable work and no pending
+    /// events before the measurement target is reached) — that would be a
+    /// bug in the machine model.
+    pub fn run(&mut self) -> RunMetrics {
+        self.seed_initial_work();
+        let mut guard: u64 = 0;
+        let guard_limit = self.guard_limit();
+        while !self.done {
+            guard += 1;
+            assert!(
+                guard < guard_limit,
+                "run loop exceeded {guard_limit} iterations — machine wedged?"
+            );
+            if std::env::var_os("AFFSIM_TRACE").is_some() && (guard & (guard - 1) == 0 || guard % 200_000 == 0) {
+                eprintln!(
+                    "iter={guard} msgs={}/{} measuring={} clocks={:?} events={} loads={:?}",
+                    self.total_messages,
+                    self.measured_messages,
+                    self.measuring,
+                    self.clocks,
+                    self.events.len(),
+                    (0..self.config.cpus)
+                        .map(|c| self.sched.load(CpuId::new(c as u32)))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            let ready = (0..self.config.cpus)
+                .filter(|&c| self.cpu_has_work(c))
+                .min_by_key(|&c| (self.clocks[c], c));
+            match (ready, self.events.peek_time()) {
+                (Some(c), Some(t)) => {
+                    if self.clocks[c] <= t.cycles() {
+                        self.step_cpu(c);
+                    } else {
+                        self.process_event();
+                    }
+                }
+                (Some(c), None) => self.step_cpu(c),
+                (None, Some(_)) => self.process_event(),
+                (None, None) => panic!(
+                    "machine deadlocked: no runnable tasks and no events \
+                     ({}/{} messages measured)",
+                    self.measured_messages,
+                    self.measure_target()
+                ),
+            }
+        }
+        self.collect_metrics()
+    }
+
+    fn guard_limit(&self) -> u64 {
+        // Generous: every message costs well under 10k loop iterations.
+        let msgs = u64::from(self.config.workload.warmup_messages)
+            + u64::from(self.config.workload.measure_messages);
+        10_000 * msgs * self.config.nics as u64 + 1_000_000
+    }
+
+    fn warmup_target(&self) -> u64 {
+        u64::from(self.config.workload.warmup_messages) * self.config.nics as u64
+    }
+
+    fn measure_target(&self) -> u64 {
+        u64::from(self.config.workload.measure_messages) * self.config.nics as u64
+    }
+
+    fn seed_initial_work(&mut self) {
+        // Recurring load balancing — only if enabled. Linux 2.4 itself
+        // had no periodic balancer (idle stealing and wake placement did
+        // all the work); the event exists for the ablation benches.
+        if self.config.tunables.balance_interval_cycles > 0 {
+            self.push_event(self.config.tunables.balance_interval_cycles, Event::LoadBalance);
+        }
+        if self.config.tunables.irq_rotation_cycles > 0 {
+            self.push_event(self.config.tunables.irq_rotation_cycles, Event::IrqRotate);
+        }
+        match self.config.workload.direction {
+            Direction::Tx => {
+                // Wake every sender; placement spreads per policy.
+                for i in 0..self.tasks.len() {
+                    let task = self.tasks[i].task;
+                    let from = self
+                        .sched
+                        .task(task)
+                        .expect("spawned")
+                        .affinity
+                        .first()
+                        .expect("non-empty mask");
+                    let placement = self.sched.wake(task, from, false).expect("task exists");
+                    let _ = placement;
+                }
+            }
+            Direction::Rx => {
+                // Receivers start blocked on data; the peers start
+                // streaming into every NIC.
+                for i in 0..self.tasks.len() {
+                    self.tasks[i].blocked = Some(BlockReason::RxData);
+                }
+                for n in 0..self.config.nics {
+                    self.refill_peer_window(n, 0);
+                }
+            }
+        }
+    }
+
+    fn refill_peer_window(&mut self, nic: usize, now: u64) {
+        if self.done {
+            return;
+        }
+        let window = self.config.tunables.peer_window;
+        let mss = u64::from(self.config.stack.mss);
+        while self.peer_inflight[nic] < window {
+            // TCP receive-window flow control: don't exceed the
+            // advertised socket buffer with unread + in-flight data.
+            let committed = self.stack.rx_available(ConnectionId::new(nic as u32))
+                + u64::from(self.peer_inflight[nic]) * mss;
+            if committed + mss > self.config.tunables.rcv_buf_bytes {
+                break;
+            }
+            let (seg, gap) = self.peers[nic].source_frame();
+            let at = self.wire_cursor[nic].max(now) + self.wire_time(seg.payload) + gap;
+            self.wire_cursor[nic] = at;
+            self.peer_inflight[nic] += 1;
+            self.push_event(
+                at,
+                Event::FrameArrival {
+                    nic,
+                    bytes: seg.payload,
+                },
+            );
+        }
+    }
+
+    fn cpu_has_work(&self, c: usize) -> bool {
+        let cpu = CpuId::new(c as u32);
+        self.sched.current(cpu).is_some() || self.sched.load(cpu) > 0 || self.can_steal(cpu)
+    }
+
+    fn can_steal(&self, cpu: CpuId) -> bool {
+        self.sched.current(cpu).is_none() && self.sched.can_steal_into(cpu)
+    }
+
+    fn step_cpu(&mut self, c: usize) {
+        let cpu = CpuId::new(c as u32);
+        if self.sched.current(cpu).is_none() {
+            if self.sched.pick_next(cpu).is_none() {
+                if self.sched.steal_into(cpu).is_some() {
+                    self.sched.pick_next(cpu);
+                } else {
+                    return;
+                }
+            }
+            let current = self.sched.current(cpu).expect("picked");
+            if self.last_task_on[c] != Some(current) {
+                // Address-space switch: TLBs flush, fixed switch cost.
+                self.mem.flush_tlbs(cpu);
+                self.cores[c].charge_plain_cycles(self.config.tunables.context_switch_cycles);
+                self.clocks[c] += self.config.tunables.context_switch_cycles;
+                self.last_task_on[c] = Some(current);
+            }
+            self.run_since_sched[c] = 0;
+        }
+        let task = self.sched.current(cpu).expect("running task");
+        let ti = task.index();
+        match self.config.workload.direction {
+            Direction::Tx => self.step_tx(c, ti),
+            Direction::Rx => self.step_rx(c, ti),
+        }
+        // Timeslice expiry: 2.4-style global requeue (the expired task
+        // resumes wherever capacity is — migration under asymmetric
+        // interrupt load).
+        if self.sched.current(cpu).is_some()
+            && self.run_since_sched[c] >= self.config.tunables.timeslice_cycles
+        {
+            self.sched.yield_current_global(cpu);
+        }
+    }
+
+    fn step_tx(&mut self, c: usize, ti: usize) {
+        let cpu = CpuId::new(c as u32);
+        let conn = self.tasks[ti].conn;
+        let msg = self.config.workload.message_bytes;
+        let conn_id = ConnectionId::new(conn as u32);
+        let mss = u64::from(self.config.stack.mss);
+
+        // `write()` fills the send buffer until it is full, then blocks —
+        // the real ttcp dynamic that lets completions (and therefore
+        // interrupt affinity) steer where the process wakes up.
+        let inflight = self.stack.tx_inflight(conn_id);
+        let buf_free = self
+            .config
+            .tunables
+            .send_buf_segments
+            .saturating_sub(inflight);
+        // The effective window is the smaller of free send-buffer space
+        // and what Reno's congestion window still allows (cwnd binds on
+        // unACKed segments, not on device completions).
+        let cwnd_free = self
+            .stack
+            .tx_window(conn_id)
+            .saturating_sub(self.stack.tx_unacked(conn_id));
+        let free_segs = buf_free.min(cwnd_free);
+        // Low-watermark blocking (like sock_wait_for_wmem): don't
+        // dribble one-segment writes when the buffer is nearly full.
+        // A ramping congestion window may legitimately be tiny, though.
+        let low_water = 8.min(self.stack.tx_window(conn_id) / 2).max(1);
+        if free_segs < low_water {
+            self.tasks[ti].blocked = Some(BlockReason::TxSpace);
+            self.sched.block_current(cpu);
+            return;
+        }
+        let remaining = self.tasks[ti].remaining;
+        let chunk_bytes = (u64::from(free_segs) * mss).min(remaining);
+
+        let cross = self.last_softirq_cpu[conn].is_some_and(|s| s != cpu);
+        let before = self.cores[c].busy_cycles();
+        let segs = {
+            let mut ctx = ExecCtx {
+                core: &mut self.cores[c],
+                mem: &mut self.mem,
+                prof: &mut self.prof,
+                rng: &mut self.rng,
+            };
+            let segs = self.stack.sendmsg(&mut ctx, conn_id, chunk_bytes, cross);
+            let tx_ring = self.nics[conn].tx_ring();
+            for (i, &seg) in segs.iter().enumerate() {
+                self.stack.driver_tx(&mut ctx, conn_id, tx_ring, i as u64, seg);
+            }
+            segs
+        };
+        let delta = self.cores[c].busy_cycles() - before;
+        self.clocks[c] += delta;
+        self.sched.charge_current(cpu, delta);
+        self.run_since_sched[c] += delta;
+        self.last_process_cpu[conn] = Some(cpu);
+
+        // Frames leave on the wire, serialized per NIC.
+        let now = self.clocks[c];
+        let mut cursor = self.wire_cursor[conn].max(now);
+        for &seg in &segs {
+            cursor += self.wire_time(seg);
+            self.push_event(cursor, Event::WireTx { nic: conn, bytes: seg });
+        }
+        self.wire_cursor[conn] = cursor;
+
+        self.tasks[ti].remaining -= chunk_bytes;
+        if self.tasks[ti].remaining == 0 {
+            self.tasks[ti].remaining = msg;
+            self.on_message_complete(now);
+        }
+    }
+
+    fn step_rx(&mut self, c: usize, ti: usize) {
+        let cpu = CpuId::new(c as u32);
+        let conn = self.tasks[ti].conn;
+        let conn_id = ConnectionId::new(conn as u32);
+        if self.stack.rx_available(conn_id) == 0 {
+            self.tasks[ti].blocked = Some(BlockReason::RxData);
+            self.sched.block_current(cpu);
+            return;
+        }
+        let cross = self.last_softirq_cpu[conn].is_some_and(|s| s != cpu);
+        let before = self.cores[c].busy_cycles();
+        let want = self.tasks[ti].remaining;
+        let got = {
+            let mut ctx = ExecCtx {
+                core: &mut self.cores[c],
+                mem: &mut self.mem,
+                prof: &mut self.prof,
+                rng: &mut self.rng,
+            };
+            self.stack.recvmsg(&mut ctx, conn_id, want, cross)
+        };
+        let delta = self.cores[c].busy_cycles() - before;
+        self.clocks[c] += delta;
+        self.sched.charge_current(cpu, delta);
+        self.run_since_sched[c] += delta;
+        self.last_process_cpu[conn] = Some(cpu);
+
+        let now = self.clocks[c];
+        // Reading freed socket-buffer space: the advertised window opens.
+        self.refill_peer_window(conn, now);
+        let msg = self.config.workload.message_bytes;
+        let mut got = got;
+        while got >= self.tasks[ti].remaining {
+            got -= self.tasks[ti].remaining;
+            self.tasks[ti].remaining = msg;
+            self.on_message_complete(now);
+            if self.done {
+                return;
+            }
+        }
+        self.tasks[ti].remaining -= got;
+    }
+
+    fn process_event(&mut self) {
+        let Some((time, event)) = self.events.pop() else {
+            return;
+        };
+        let t = time.cycles();
+        match event {
+            Event::FrameArrival { nic, bytes } => {
+                let raise = self.nics[nic].dma_rx_frame(&mut self.mem, bytes);
+                self.nic_rx_pending[nic].push(bytes);
+                self.nic_activity[nic] = t;
+                if raise {
+                    self.deliver_interrupt(nic, t + self.config.tunables.irq_latency_cycles);
+                } else {
+                    self.arm_flush(nic, t);
+                }
+            }
+            Event::AckArrival { nic, acked } => {
+                let raise = self.nics[nic].dma_rx_frame(&mut self.mem, 66);
+                self.nic_ack_pending[nic] += acked;
+                self.nic_ack_frames[nic] += 1;
+                self.nic_activity[nic] = t;
+                if raise {
+                    self.deliver_interrupt(nic, t + self.config.tunables.irq_latency_cycles);
+                } else {
+                    self.arm_flush(nic, t);
+                }
+            }
+            Event::WireTx { nic, bytes } => {
+                let conn_id = ConnectionId::new(nic as u32);
+                let skb_data = self.stack.regions(conn_id).skb_data;
+                let off = self.tx_wire_offset[nic];
+                self.tx_wire_offset[nic] += u64::from(bytes);
+                let raise = self.nics[nic].dma_tx_frame(&mut self.mem, skb_data, off, bytes);
+                self.nic_txdone_pending[nic] += 1;
+                self.nic_activity[nic] = t;
+                if raise {
+                    self.deliver_interrupt(nic, t + self.config.tunables.irq_latency_cycles);
+                } else {
+                    self.arm_flush(nic, t);
+                }
+                if bytes > 0 && self.rng.chance(self.config.tunables.loss_rate) {
+                    // Lost on the wire: the peer never sees it; Reno's
+                    // retransmission timer will fire.
+                    self.push_event(
+                        t + self.config.tunables.rto_cycles,
+                        Event::RtoFire { nic, bytes },
+                    );
+                    return;
+                }
+                if self.peers[nic].on_data_segment().is_some() {
+                    // Jittered RTT: client-side processing and switch
+                    // queueing desynchronize the connections.
+                    let jitter = self
+                        .rng
+                        .exponential(self.config.tunables.rtt_cycles as f64 / 4.0)
+                        as u64;
+                    self.push_event(
+                        t + self.config.tunables.rtt_cycles + jitter,
+                        Event::AckArrival {
+                            nic,
+                            acked: self.config.stack.ack_every,
+                        },
+                    );
+                }
+            }
+            Event::CoalesceFlush { nic, armed_at } => {
+                self.flush_armed[nic] = false;
+                if self.nic_activity[nic] > armed_at {
+                    self.arm_flush(nic, self.nic_activity[nic]);
+                } else {
+                    if self.nics[nic].flush_coalescing() {
+                        self.deliver_interrupt(nic, t);
+                    }
+                    if self.config.workload.direction == Direction::Tx {
+                        if let Some(_ack) = self.peers[nic].flush_ack() {
+                            self.push_event(
+                                t + self.config.tunables.rtt_cycles,
+                                Event::AckArrival { nic, acked: 1 },
+                            );
+                        }
+                    }
+                }
+            }
+            Event::RtoFire { nic, bytes } => {
+                // Timer softirq runs on the vector's CPU: collapse the
+                // window, rebuild the segment, requeue it on the wire.
+                let vector = self.vectors[nic];
+                let target = self.apic.route(vector);
+                let c = target.index();
+                self.clocks[c] = self.clocks[c].max(t);
+                let conn_id = ConnectionId::new(nic as u32);
+                let cross = self.last_process_cpu[nic].is_some_and(|p| p != target);
+                let before = self.cores[c].busy_cycles();
+                {
+                    let mut ctx = ExecCtx {
+                        core: &mut self.cores[c],
+                        mem: &mut self.mem,
+                        prof: &mut self.prof,
+                        rng: &mut self.rng,
+                    };
+                    self.stack.retransmit_timeout(&mut ctx, conn_id, bytes, cross);
+                }
+                let delta = self.cores[c].busy_cycles() - before;
+                self.clocks[c] += delta;
+                self.irq_cycles[c] += delta;
+                let at = self.wire_cursor[nic].max(self.clocks[c]) + self.wire_time(bytes);
+                self.wire_cursor[nic] = at;
+                self.push_event(at, Event::WireTx { nic, bytes });
+            }
+            Event::LoadBalance => {
+                self.sched.load_balance();
+                if !self.done {
+                    self.push_event(
+                        t + self.config.tunables.balance_interval_cycles,
+                        Event::LoadBalance,
+                    );
+                }
+            }
+            Event::IrqRotate => {
+                // Rotate every vector's affinity to the next CPU (the
+                // 2.6 scheme). The TPR update is an uncacheable write;
+                // charge a small fixed cost to each CPU.
+                let cpus = self.config.cpus as u32;
+                for (i, &v) in self.vectors.clone().iter().enumerate() {
+                    let current = self.apic.route(v);
+                    let next = CpuId::new((current.raw() + 1 + (i as u32 % 1)) % cpus);
+                    self.apic
+                        .set_affinity(v, sim_os::CpuMask::single(next))
+                        .expect("rotation target exists");
+                }
+                for c in 0..self.config.cpus {
+                    self.cores[c].charge_plain_cycles(600);
+                    self.clocks[c] += 600;
+                }
+                if !self.done {
+                    self.push_event(
+                        t + self.config.tunables.irq_rotation_cycles,
+                        Event::IrqRotate,
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver_interrupt(&mut self, nic: usize, t: u64) {
+        let vector = self.vectors[nic];
+        let mut target = self.apic.deliver(vector);
+        if self.config.tunables.dynamic_steering {
+            // RSS/flow-director future: the device steers this flow's
+            // interrupt to wherever its consumer last ran.
+            if let Some(cpu) = self.last_process_cpu[nic] {
+                target = cpu;
+            }
+        }
+        let c = target.index();
+        self.clocks[c] = self.clocks[c].max(t);
+        let irq_start = self.cores[c].busy_cycles();
+
+        // Pipeline flushes on the target: interrupt entry, EOI and iret
+        // are all serializing on the P4's deep pipeline.
+        let handler = self.stack.irq_func(vector);
+        for _ in 0..self.config.tunables.clears_per_device_interrupt {
+            self.deliver_clear(c, ClearReason::DeviceInterrupt, handler);
+        }
+
+        // Top half.
+        {
+            let mut ctx = ExecCtx {
+                core: &mut self.cores[c],
+                mem: &mut self.mem,
+                prof: &mut self.prof,
+                rng: &mut self.rng,
+            };
+            self.stack.irq_top_half(&mut ctx, vector);
+        }
+        self.clocks[c] += self.cores[c].busy_cycles() - irq_start
+            - self.config.tunables.clears_per_device_interrupt as u64
+                * self.config.cpu.costs.machine_clear;
+
+        // Bottom half runs right here, on the same CPU.
+        self.run_bottom_half(c, nic);
+        self.irq_cycles[c] += self.cores[c].busy_cycles() - irq_start;
+
+        // Refresh the scheduler's view of interrupt pressure so wakeup
+        // placement steers processes away from interrupt-saturated CPUs.
+        for cpu in 0..self.config.cpus {
+            let pressure = (self.irq_load(cpu) / 0.15) as usize;
+            self.sched.set_pressure(CpuId::new(cpu as u32), pressure);
+        }
+    }
+
+    fn deliver_clear(&mut self, c: usize, reason: ClearReason, handler: Option<FuncId>) {
+        let penalty = self.cores[c].machine_clear(reason);
+        self.clocks[c] += penalty;
+        let to_handler = handler.is_some()
+            && reason == ClearReason::DeviceInterrupt
+            && self.rng.chance(self.config.tunables.skid_to_handler);
+        let func = if to_handler {
+            handler.expect("checked")
+        } else {
+            self.weighted_func_draw(c)
+                .or(handler)
+                .unwrap_or(self.wake_up_func)
+        };
+        let mut delta = PerfCounters::default();
+        delta.machine_clears = 1;
+        delta.cycles = penalty;
+        self.prof.record(CpuId::new(c as u32), func, &delta);
+    }
+
+    /// Draws a function weighted by the cycles it has accumulated on
+    /// `cpu` — the statistical shape of Oprofile's attribution skid: a
+    /// flush lands in whatever code was in flight.
+    fn weighted_func_draw(&mut self, c: usize) -> Option<FuncId> {
+        let cpu = CpuId::new(c as u32);
+        let total = self.prof.cpu_total(cpu).cycles;
+        if total == 0 {
+            return None;
+        }
+        let mut r = self.rng.next_below(total);
+        for (f, counters) in self.prof.nonzero_on(cpu) {
+            if r < counters.cycles {
+                return Some(f);
+            }
+            r -= counters.cycles;
+        }
+        None
+    }
+
+    fn run_bottom_half(&mut self, c: usize, nic: usize) {
+        let cpu = CpuId::new(c as u32);
+        let conn_id = ConnectionId::new(nic as u32);
+        let cross = self.last_process_cpu[nic].is_some_and(|p| p != cpu);
+        let before = self.cores[c].busy_cycles();
+
+        let txdone = std::mem::take(&mut self.nic_txdone_pending[nic]);
+        let acked = std::mem::take(&mut self.nic_ack_pending[nic]);
+        let ack_frames = std::mem::take(&mut self.nic_ack_frames[nic]);
+        let frames = std::mem::take(&mut self.nic_rx_pending[nic]);
+
+        let mut wake_consumer = false;
+        {
+            let mut ctx = ExecCtx {
+                core: &mut self.cores[c],
+                mem: &mut self.mem,
+                prof: &mut self.prof,
+                rng: &mut self.rng,
+            };
+            if txdone > 0 {
+                let tx_ring = self.nics[nic].tx_ring();
+                self.stack.tx_complete(&mut ctx, conn_id, tx_ring, txdone);
+            }
+            if acked > 0 {
+                self.stack.rx_ack(&mut ctx, conn_id, acked, cross);
+            }
+            if !frames.is_empty() {
+                let rx_ring = self.nics[nic].rx_ring();
+                let outcome = self.stack.rx_bottom_half(&mut ctx, conn_id, &frames, rx_ring, cross);
+                wake_consumer = outcome.wake_consumer;
+            }
+        }
+        if ack_frames > 0 {
+            self.nics[nic].reclaim_rx(ack_frames);
+        }
+        if !frames.is_empty() {
+            self.nics[nic].reclaim_rx(frames.len() as u32);
+            self.peer_inflight[nic] = self.peer_inflight[nic].saturating_sub(frames.len() as u32);
+        }
+        let delta = self.cores[c].busy_cycles() - before;
+        self.clocks[c] += delta;
+        self.last_softirq_cpu[nic] = Some(cpu);
+        let now = self.clocks[c];
+
+        // Completing execution of a split stack requires interrupting
+        // the CPU that owns the process context (the paper's IPI story):
+        // the bottom half ran here, the connection's process runs there.
+        if let Some(proc_cpu) = self.last_process_cpu[nic] {
+            if proc_cpu != cpu && (!frames.is_empty() || acked > 0) {
+                self.deliver_ipi(cpu, proc_cpu, IpiKind::FunctionCall, now);
+            }
+        }
+
+        // Keep the peer's window full (RX workload).
+        if self.config.workload.direction == Direction::Rx && !frames.is_empty() {
+            self.refill_peer_window(nic, now);
+        }
+
+        // Wake whoever was blocked on this connection.
+        let ti = self.task_of_conn[nic];
+        let should_wake = match self.tasks[ti].blocked {
+            Some(BlockReason::TxSpace) => {
+                // High watermark: a third of the buffer free again, and
+                // the congestion window has room.
+                let inflight = self.stack.tx_inflight(conn_id);
+                inflight + self.config.tunables.send_buf_segments / 3
+                    <= self.config.tunables.send_buf_segments
+                    && self.stack.tx_window(conn_id) > self.stack.tx_unacked(conn_id)
+            }
+            Some(BlockReason::RxData) => self.stack.rx_available(conn_id) > 0,
+            None => false,
+        };
+        let _ = wake_consumer;
+        if should_wake {
+            self.wake_task(ti, c, now);
+        }
+    }
+
+    /// Fraction of a CPU's time spent in interrupt context.
+    fn irq_load(&self, c: usize) -> f64 {
+        self.irq_cycles[c] as f64 / self.clocks[c].max(1) as f64
+    }
+
+    fn deliver_ipi(&mut self, from: CpuId, to: CpuId, kind: IpiKind, now: u64) {
+        self.ipi.send(from, to, kind);
+        let tc = to.index();
+        self.clocks[tc] = self.clocks[tc].max(now);
+        let start = self.cores[tc].busy_cycles();
+        for _ in 0..self.config.tunables.clears_per_ipi {
+            self.deliver_clear(tc, ClearReason::Ipi, None);
+        }
+        self.irq_cycles[tc] += self.cores[tc].busy_cycles() - start;
+    }
+
+    fn wake_task(&mut self, ti: usize, from_c: usize, now: u64) {
+        let task = self.tasks[ti].task;
+        let from = CpuId::new(from_c as u32);
+        // The bottom half hands the consumer off to its own CPU only if
+        // that CPU is not carrying disproportionately more interrupt
+        // work than its peers — an interrupt-saturated default CPU0
+        // repels processes instead of attracting them.
+        let min_irq = (0..self.config.cpus)
+            .map(|c| self.irq_load(c))
+            .fold(f64::INFINITY, f64::min);
+        let affine = self.irq_load(from_c) <= min_irq + self.config.tunables.irq_load_gate;
+        let placement = self.sched.wake(task, from, affine).expect("task exists");
+        self.tasks[ti].blocked = None;
+        if placement.needs_resched_ipi {
+            self.deliver_ipi(from, placement.cpu, IpiKind::Reschedule, now);
+        }
+    }
+
+    fn on_message_complete(&mut self, now: u64) {
+        self.total_messages += 1;
+        if !self.measuring {
+            if self.total_messages >= self.warmup_target() {
+                self.begin_measurement(now);
+            }
+            return;
+        }
+        self.measured_messages += 1;
+        self.bytes_moved += self.config.workload.message_bytes;
+        self.last_message_time = now;
+        if self.measured_messages >= self.measure_target() {
+            self.done = true;
+        }
+    }
+
+    fn begin_measurement(&mut self, now: u64) {
+        self.measuring = true;
+        self.measure_start = now;
+        self.last_message_time = now;
+        self.mem.reset_stats();
+        for core in &mut self.cores {
+            core.reset_counters();
+        }
+        self.prof.reset();
+        self.sched.reset_stats();
+        self.apic.reset_stats();
+        self.ipi.reset_stats();
+        for nic in &mut self.nics {
+            nic.reset_stats();
+        }
+    }
+
+    fn collect_metrics(&self) -> RunMetrics {
+        let wall = self.last_message_time.saturating_sub(self.measure_start).max(1);
+        let bins = Bin::ALL
+            .into_iter()
+            .map(|bin| BinBreakdown {
+                bin,
+                counters: self.prof.group_total(self.stack.registry(), bin.label()),
+            })
+            .collect();
+        let mut clears_by_reason = [0u64; 5];
+        for core in &self.cores {
+            let by = core.clears_by_reason();
+            for i in 0..5 {
+                clears_by_reason[i] += by[i];
+            }
+        }
+        let sched_stats = self.sched.stats();
+        let (mut lock_acq, mut lock_cont) = (0, 0);
+        for i in 0..self.config.nics {
+            let s = self.stack.lock_stats(ConnectionId::new(i as u32));
+            lock_acq += s.acquisitions;
+            lock_cont += s.contended;
+        }
+        RunMetrics {
+            wall_cycles: wall,
+            freq: self.config.cpu.freq,
+            bytes_moved: self.bytes_moved,
+            messages: self.measured_messages,
+            busy_cycles: self.cores.iter().map(Core::busy_cycles).collect(),
+            total: self.prof.total(),
+            bins,
+            clears_by_reason,
+            resched_ipis: sched_stats.resched_ipis,
+            wake_migrations: sched_stats.wake_migrations,
+            balance_migrations: sched_stats.balance_migrations,
+            lock_acquisitions: lock_acq,
+            lock_contended: lock_cont,
+            interrupts: self.nics.iter().map(|n| n.stats().interrupts).sum(),
+        }
+    }
+
+    /// The profiler (for table/figure rendering after a run).
+    #[must_use]
+    pub fn profiler(&self) -> &Profiler {
+        &self.prof
+    }
+
+    /// The stack's function registry.
+    #[must_use]
+    pub fn registry(&self) -> &sim_prof::FunctionRegistry {
+        self.stack.registry()
+    }
+
+    /// The interrupt vectors in NIC order.
+    #[must_use]
+    pub fn vectors(&self) -> &[IrqVector] {
+        &self.vectors
+    }
+
+    /// IPIs received per CPU (reschedule kind).
+    #[must_use]
+    pub fn resched_ipis_received(&self, cpu: CpuId) -> u64 {
+        self.ipi.received(cpu, IpiKind::Reschedule)
+    }
+
+    /// Fraction of `cpu`'s time spent in interrupt context so far.
+    #[must_use]
+    pub fn irq_load_fraction(&self, cpu: CpuId) -> f64 {
+        self.irq_load(cpu.index())
+    }
+
+    /// Where each connection's process context last ran, by connection.
+    #[must_use]
+    pub fn process_cpus(&self) -> Vec<Option<CpuId>> {
+        self.last_process_cpu.clone()
+    }
+
+    /// Where each connection's bottom halves last ran, by connection.
+    #[must_use]
+    pub fn softirq_cpus(&self) -> Vec<Option<CpuId>> {
+        self.last_softirq_cpu.clone()
+    }
+
+    /// Scheduler statistics (wakeups, migrations, IPIs).
+    #[must_use]
+    pub fn scheduler_stats(&self) -> sim_os::SchedulerStats {
+        self.sched.stats()
+    }
+
+    /// Per-task `(migrations, wakeups, run_cycles)` since construction.
+    #[must_use]
+    pub fn task_stats(&self) -> Vec<(u64, u64, u64)> {
+        self.sched
+            .tasks()
+            .map(|t| (t.migrations, t.wakeups, t.run_cycles))
+            .collect()
+    }
+
+    /// Total IPIs of any kind received across CPUs.
+    #[must_use]
+    pub fn total_ipis(&self) -> u64 {
+        self.ipi.total()
+    }
+}

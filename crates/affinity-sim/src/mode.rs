@@ -1,0 +1,89 @@
+//! The four affinity modes of the paper's Figure 3.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How processes and interrupts are bound to processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AffinityMode {
+    /// No binding: interrupts default to CPU0 (the Linux 2.4/NT default),
+    /// the scheduler places processes freely.
+    None,
+    /// Interrupt-only affinity: NIC vectors split evenly across CPUs via
+    /// `smp_affinity`; processes free.
+    Irq,
+    /// Process-only affinity: `ttcp` processes pinned evenly across CPUs;
+    /// interrupts still all on CPU0.
+    Process,
+    /// Full affinity: each process pinned to the CPU that services its
+    /// NIC's interrupts.
+    Full,
+}
+
+impl AffinityMode {
+    /// All modes in the paper's presentation order.
+    pub const ALL: [AffinityMode; 4] = [
+        AffinityMode::None,
+        AffinityMode::Process,
+        AffinityMode::Irq,
+        AffinityMode::Full,
+    ];
+
+    /// Label as used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AffinityMode::None => "No Aff",
+            AffinityMode::Irq => "IRQ Aff",
+            AffinityMode::Process => "Proc Aff",
+            AffinityMode::Full => "Full Aff",
+        }
+    }
+
+    /// Whether interrupts are split across CPUs in this mode.
+    #[must_use]
+    pub fn irq_split(self) -> bool {
+        matches!(self, AffinityMode::Irq | AffinityMode::Full)
+    }
+
+    /// Whether processes are pinned in this mode.
+    #[must_use]
+    pub fn processes_pinned(self) -> bool {
+        matches!(self, AffinityMode::Process | AffinityMode::Full)
+    }
+}
+
+impl fmt::Display for AffinityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_modes() {
+        assert_eq!(AffinityMode::ALL.len(), 4);
+    }
+
+    #[test]
+    fn knob_matrix_matches_paper() {
+        assert!(!AffinityMode::None.irq_split());
+        assert!(!AffinityMode::None.processes_pinned());
+        assert!(AffinityMode::Irq.irq_split());
+        assert!(!AffinityMode::Irq.processes_pinned());
+        assert!(!AffinityMode::Process.irq_split());
+        assert!(AffinityMode::Process.processes_pinned());
+        assert!(AffinityMode::Full.irq_split());
+        assert!(AffinityMode::Full.processes_pinned());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AffinityMode::Full.to_string(), "Full Aff");
+        assert_eq!(AffinityMode::None.label(), "No Aff");
+    }
+}

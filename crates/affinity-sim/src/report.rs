@@ -1,0 +1,362 @@
+//! Text renderers that regenerate every table and figure of the paper.
+//!
+//! Each function returns a plain-text table shaped like the paper's
+//! artifact; the `bench` crate's `repro` binary prints them, and
+//! `EXPERIMENTS.md` records the outputs next to the paper's numbers.
+
+use std::fmt::Write as _;
+
+use sim_core::CpuId;
+use sim_cpu::{EventCosts, HwEvent};
+use sim_prof::{symbol_report, SampleView};
+use sim_tcp::Bin;
+
+use crate::analysis::{bin_improvements, impact_indicators, overall_improvement, spearman};
+use crate::experiment::RunResult;
+use crate::metrics::RunMetrics;
+use crate::mode::AffinityMode;
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Figure 3: bandwidth and CPU utilization vs transaction size, one row
+/// per size, one column pair per affinity mode.
+#[must_use]
+pub fn render_figure3(
+    direction: &str,
+    rows: &[(u64, Vec<(AffinityMode, RunMetrics)>)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 3 ({direction}): Bandwidth (Mb/s) and CPU Utilization");
+    let _ = write!(out, "{:>8}", "size");
+    if let Some((_, mode_cols)) = rows.first() {
+        for (mode, _) in mode_cols {
+            let _ = write!(out, " | {:>9} BW {:>5} CPU", mode.label(), "");
+        }
+    }
+    let _ = writeln!(out);
+    for (size, mode_cols) in rows {
+        let _ = write!(out, "{size:>8}");
+        for (_, m) in mode_cols {
+            let _ = write!(
+                out,
+                " | {:>9.0} Mb {:>8}",
+                m.throughput_mbps(),
+                pct(m.avg_utilization())
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Figure 4: processing cost in GHz/Gbps vs transaction size.
+#[must_use]
+pub fn render_figure4(
+    direction: &str,
+    rows: &[(u64, Vec<(AffinityMode, RunMetrics)>)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4 ({direction}): Cost in GHz/Gbps");
+    let _ = write!(out, "{:>8}", "size");
+    if let Some((_, mode_cols)) = rows.first() {
+        for (mode, _) in mode_cols {
+            let _ = write!(out, " | {:>9}", mode.label());
+        }
+    }
+    let _ = writeln!(out);
+    for (size, mode_cols) in rows {
+        let _ = write!(out, "{size:>8}");
+        for (_, m) in mode_cols {
+            let _ = write!(out, " | {:>9.2}", m.cost_ghz_per_gbps());
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// One panel of Table 1 (e.g. "TX 64KB"): per-bin %cycles, CPI, MPI,
+/// %branches and %branch-mispredictions under no and full affinity.
+#[must_use]
+pub fn render_table1_panel(panel: &str, no_aff: &RunMetrics, full_aff: &RunMetrics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1 — {panel}");
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>8} {:>8} | {:>7} {:>7} | {:>8} {:>8} | {:>7} {:>7} | {:>7} {:>7}",
+        "bin", "%cy(no)", "%cy(fu)", "CPI(no)", "CPI(fu)", "MPI(no)", "MPI(fu)", "%br(no)",
+        "%br(fu)", "%mis(no)", "%mis(fu)"
+    );
+    for bin in Bin::ALL {
+        let n = no_aff.bin(bin);
+        let f = full_aff.bin(bin);
+        let _ = writeln!(
+            out,
+            "{:>10} | {:>8} {:>8} | {:>7.2} {:>7.2} | {:>8.4} {:>8.4} | {:>7} {:>7} | {:>7} {:>7}",
+            bin.label(),
+            pct(no_aff.bin_cycle_share(bin)),
+            pct(full_aff.bin_cycle_share(bin)),
+            n.cpi(),
+            f.cpi(),
+            n.mpi(),
+            f.mpi(),
+            pct(n.branch_fraction()),
+            pct(f.branch_fraction()),
+            pct(n.mispredict_fraction()),
+            pct(f.mispredict_fraction()),
+        );
+    }
+    let (tn, tf) = (no_aff.total, full_aff.total);
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>8} {:>8} | {:>7.2} {:>7.2} | {:>8.4} {:>8.4} | {:>7} {:>7} | {:>7} {:>7}",
+        "Overall",
+        "100.0%",
+        "100.0%",
+        tn.cpi(),
+        tf.cpi(),
+        tn.mpi(),
+        tf.mpi(),
+        pct(tn.branch_fraction()),
+        pct(tf.branch_fraction()),
+        pct(tn.mispredict_fraction()),
+        pct(tf.mispredict_fraction()),
+    );
+    out
+}
+
+/// Table 2: the spinlock behaviour behind Table 1's "Locks" anomaly —
+/// instruction/branch collapse and the inverted mispredict ratio.
+#[must_use]
+pub fn render_table2(no_aff: &RunMetrics, full_aff: &RunMetrics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2 — Spinlock behaviour (Locks bin)");
+    let _ = writeln!(
+        out,
+        "{:>22} | {:>12} | {:>12}",
+        "", "no affinity", "full affinity"
+    );
+    let n = no_aff.bin(Bin::Locks);
+    let f = full_aff.bin(Bin::Locks);
+    let rows: [(&str, u64, u64); 4] = [
+        ("acquisitions", no_aff.lock_acquisitions, full_aff.lock_acquisitions),
+        ("contended", no_aff.lock_contended, full_aff.lock_contended),
+        ("instructions", n.instructions, f.instructions),
+        ("branches", n.branches, f.branches),
+    ];
+    for (label, a, b) in rows {
+        let _ = writeln!(out, "{label:>22} | {a:>12} | {b:>12}");
+    }
+    let _ = writeln!(
+        out,
+        "{:>22} | {:>12} | {:>12}",
+        "mispredict ratio",
+        pct(n.mispredict_fraction()),
+        pct(f.mispredict_fraction())
+    );
+    out
+}
+
+/// One panel of Figure 5: % of run time attributed to each event.
+#[must_use]
+pub fn render_figure5_panel(panel: &str, metrics: &RunMetrics, costs: &EventCosts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 5 — {panel}");
+    let _ = writeln!(out, "{:>16} | {:>5} | {:>12} | {:>7}", "event", "cost", "count", "%time");
+    for row in impact_indicators(&metrics.total, costs) {
+        let cost = if row.event == HwEvent::Instructions {
+            "0.33".to_string()
+        } else {
+            row.cost.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:>16} | {:>5} | {:>12} | {:>7}",
+            row.event.label(),
+            cost,
+            row.count,
+            pct(row.share)
+        );
+    }
+    out
+}
+
+/// One panel of Table 3: baseline character plus per-bin improvement
+/// contributions in cycles, LLC misses and machine clears.
+#[must_use]
+pub fn render_table3_panel(panel: &str, base: &RunMetrics, full: &RunMetrics) -> String {
+    let mut out = String::new();
+    let rows = bin_improvements(base, full);
+    let _ = writeln!(out, "Table 3 — {panel} (no affinity baseline, improvements to full)");
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>7} {:>6} {:>8} | {:>8} {:>8} {:>8}",
+        "bin", "%time", "CPI", "MPIx1e-3", "d-cycles", "d-LLC", "d-clears"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:>10} | {:>7} {:>6.1} {:>8.1} | {:>8} {:>8} {:>8}",
+            r.bin.label(),
+            pct(r.pct_time_base),
+            r.cpi_base,
+            r.mpi_base * 1e3,
+            pct(r.cycles_improvement),
+            pct(r.llc_improvement),
+            pct(r.clears_improvement),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>7} {:>6} {:>8} | {:>8} {:>8} {:>8}",
+        "Overall",
+        "",
+        "",
+        "",
+        pct(overall_improvement(&rows, HwEvent::Cycles)),
+        pct(overall_improvement(&rows, HwEvent::LlcMiss)),
+        pct(overall_improvement(&rows, HwEvent::MachineClear)),
+    );
+    out
+}
+
+/// Table 4: per-CPU functions with the most machine clears.
+#[must_use]
+pub fn render_table4(title: &str, result: &RunResult, limit: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4 — {title}: functions with most machine clears");
+    for c in 0..result.config.cpus {
+        let cpu = CpuId::new(c as u32);
+        let _ = writeln!(out, "CPU {c}");
+        let _ = writeln!(out, "{:>10} {:>7}  symbol", "samples", "%");
+        let rows = symbol_report(
+            &result.profiler,
+            &result.registry,
+            cpu,
+            HwEvent::MachineClear,
+            SampleView::new(1),
+            limit,
+        );
+        for row in rows {
+            let _ = writeln!(out, "{:>10} {:>6.2}%  {}", row.samples, row.percent, row.symbol);
+        }
+    }
+    out
+}
+
+/// Table 5: Spearman rank correlation between per-bin cycle improvements
+/// and per-bin LLC/machine-clear improvements, one row per workload.
+#[must_use]
+pub fn render_table5(entries: &[(String, RunMetrics, RunMetrics)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5 — Rank correlation of cycle improvements with event improvements");
+    let _ = writeln!(out, "{:>10} | {:>6} | {:>6}", "workload", "LLC", "Clears");
+    for (label, base, full) in entries {
+        let rows = bin_improvements(base, full);
+        let cycles: Vec<f64> = rows.iter().map(|r| r.cycles_improvement).collect();
+        let llc: Vec<f64> = rows.iter().map(|r| r.llc_improvement).collect();
+        let clears: Vec<f64> = rows.iter().map(|r| r.clears_improvement).collect();
+        let _ = writeln!(
+            out,
+            "{:>10} | {:>6.2} | {:>6.2}",
+            label,
+            spearman(&cycles, &llc),
+            spearman(&cycles, &clears)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(paper's quoted critical value for p=0.05, 1-tail: {})",
+        crate::analysis::PAPER_CRITICAL_VALUE
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_experiment, ExperimentConfig};
+    use crate::workload::Direction;
+
+    fn quick_pair() -> (RunMetrics, RunMetrics) {
+        let no = run_experiment(
+            &ExperimentConfig::paper_sut(Direction::Tx, 1024, AffinityMode::None).quick(),
+        )
+        .unwrap();
+        let full = run_experiment(
+            &ExperimentConfig::paper_sut(Direction::Tx, 1024, AffinityMode::Full).quick(),
+        )
+        .unwrap();
+        (no.metrics, full.metrics)
+    }
+
+    #[test]
+    fn figure3_and_4_render() {
+        let (no, full) = quick_pair();
+        let rows = vec![(
+            1024u64,
+            vec![(AffinityMode::None, no), (AffinityMode::Full, full)],
+        )];
+        let f3 = render_figure3("TX", &rows);
+        assert!(f3.contains("Figure 3"));
+        assert!(f3.contains("1024"));
+        assert!(f3.contains("No Aff"));
+        let f4 = render_figure4("TX", &rows);
+        assert!(f4.contains("GHz/Gbps"));
+    }
+
+    #[test]
+    fn table1_panel_renders_all_bins() {
+        let (no, full) = quick_pair();
+        let t = render_table1_panel("TX 1KB", &no, &full);
+        for bin in Bin::ALL {
+            assert!(t.contains(bin.label()), "missing {bin} in:\n{t}");
+        }
+        assert!(t.contains("Overall"));
+    }
+
+    #[test]
+    fn table2_renders() {
+        let (no, full) = quick_pair();
+        let t = render_table2(&no, &full);
+        assert!(t.contains("acquisitions"));
+        assert!(t.contains("mispredict ratio"));
+    }
+
+    #[test]
+    fn figure5_renders() {
+        let (no, _) = quick_pair();
+        let t = render_figure5_panel("TX 1KB no-aff", &no, &EventCosts::paper());
+        assert!(t.contains("Machine clear"));
+        assert!(t.contains("LLC miss"));
+        assert!(t.contains("0.33"));
+    }
+
+    #[test]
+    fn table3_renders() {
+        let (no, full) = quick_pair();
+        let t = render_table3_panel("TX 1KB", &no, &full);
+        assert!(t.contains("d-cycles"));
+        assert!(t.contains("Overall"));
+    }
+
+    #[test]
+    fn table4_renders_per_cpu() {
+        let result = run_experiment(
+            &ExperimentConfig::paper_sut(Direction::Tx, 1024, AffinityMode::None).quick(),
+        )
+        .unwrap();
+        let t = render_table4("TX 1KB no affinity", &result, 10);
+        assert!(t.contains("CPU 0"));
+        assert!(t.contains("CPU 1"));
+    }
+
+    #[test]
+    fn table5_renders() {
+        let (no, full) = quick_pair();
+        let t = render_table5(&[("TX 1KB".to_string(), no, full)]);
+        assert!(t.contains("LLC"));
+        assert!(t.contains("critical value"));
+    }
+}

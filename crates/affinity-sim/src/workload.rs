@@ -1,0 +1,131 @@
+//! The `ttcp` bulk-transfer workload.
+
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction, from the system under test's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Direction {
+    /// The SUT transmits (`ttcp -t`).
+    Tx,
+    /// The SUT receives (`ttcp -r`).
+    Rx,
+}
+
+impl Direction {
+    /// Both directions.
+    pub const ALL: [Direction; 2] = [Direction::Tx, Direction::Rx];
+
+    /// Figure label ("TX"/"RX").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Tx => "TX",
+            Direction::Rx => "RX",
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The paper's Figure 3 x-axis: transaction sizes in bytes.
+pub const PAPER_SIZES: [u64; 7] = [128, 256, 1024, 4096, 8192, 16384, 65536];
+
+/// A `ttcp` run description: every connection moves fixed-size messages
+/// between reused buffers, connection set up once — pure fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Direction (SUT transmits or receives).
+    pub direction: Direction,
+    /// Application message ("transaction") size in bytes.
+    pub message_bytes: u64,
+    /// Messages per connection executed before measurement starts
+    /// (cache/predictor warm-up, like the paper's steady-state runs).
+    pub warmup_messages: u32,
+    /// Messages per connection measured.
+    pub measure_messages: u32,
+}
+
+impl Workload {
+    /// A workload sized so each connection moves a few MB — enough for
+    /// stable steady-state statistics at every paper size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message_bytes` is zero.
+    #[must_use]
+    pub fn steady_state(direction: Direction, message_bytes: u64) -> Self {
+        assert!(message_bytes > 0, "message size must be positive");
+        // Scale counts inversely with size: ~2 MB measured per connection,
+        // bounded for tractability.
+        let measure = (2 * 1024 * 1024 / message_bytes).clamp(24, 1600) as u32;
+        let warmup = (measure / 3).max(8);
+        Workload {
+            direction,
+            message_bytes,
+            warmup_messages: warmup,
+            measure_messages: measure,
+        }
+    }
+
+    /// Shrinks the workload for fast unit tests and doc tests.
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.warmup_messages = self.warmup_messages.min(4);
+        self.measure_messages = self.measure_messages.min(12);
+        self
+    }
+
+    /// Total measured bytes across `connections` connections.
+    #[must_use]
+    pub fn measured_bytes(&self, connections: usize) -> u64 {
+        self.message_bytes * u64::from(self.measure_messages) * connections as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_scales_counts() {
+        let small = Workload::steady_state(Direction::Tx, 128);
+        let large = Workload::steady_state(Direction::Tx, 65536);
+        assert!(small.measure_messages > large.measure_messages);
+        assert!(large.measure_messages >= 24);
+        assert!(small.measure_messages <= 1600);
+        assert!(small.warmup_messages >= 8);
+    }
+
+    #[test]
+    fn quick_shrinks() {
+        let w = Workload::steady_state(Direction::Rx, 128).quick();
+        assert!(w.measure_messages <= 12);
+        assert!(w.warmup_messages <= 4);
+    }
+
+    #[test]
+    fn measured_bytes() {
+        let w = Workload {
+            direction: Direction::Tx,
+            message_bytes: 1000,
+            warmup_messages: 1,
+            measure_messages: 10,
+        };
+        assert_eq!(w.measured_bytes(8), 80_000);
+    }
+
+    #[test]
+    fn paper_sizes_match_figure3() {
+        assert_eq!(PAPER_SIZES, [128, 256, 1024, 4096, 8192, 16384, 65536]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let _ = Workload::steady_state(Direction::Tx, 0);
+    }
+}

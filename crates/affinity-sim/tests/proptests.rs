@@ -1,0 +1,56 @@
+//! Property-based tests for the analysis layer.
+
+use affinity_sim::analysis::{spearman, spearman_critical_one_tail_p05};
+use proptest::prelude::*;
+
+proptest! {
+    /// Spearman's rho is bounded, symmetric in its arguments, and
+    /// invariant under strictly monotone transforms of either sample.
+    #[test]
+    fn spearman_properties(xs in prop::collection::vec(-1e3f64..1e3, 2..30)) {
+        let ys: Vec<f64> = xs.iter().map(|&x| x * 2.0 + 1.0).collect();
+        let rho = spearman(&xs, &ys);
+        prop_assert!((-1.0..=1.0001).contains(&rho));
+        // Linear transform preserves ranks exactly.
+        let distinct = {
+            let mut v = xs.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.windows(2).all(|w| w[0] != w[1])
+        };
+        if distinct {
+            prop_assert!((rho - 1.0).abs() < 1e-9, "monotone transform must give rho=1, got {rho}");
+        }
+    }
+
+    #[test]
+    fn spearman_is_symmetric(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..30),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let a = spearman(&xs, &ys);
+        let b = spearman(&ys, &xs);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_negation_flips_sign(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..30),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let neg_ys: Vec<f64> = ys.iter().map(|y| -y).collect();
+        let a = spearman(&xs, &ys);
+        let b = spearman(&xs, &neg_ys);
+        prop_assert!((a + b).abs() < 1e-9, "negating one sample must flip rho");
+    }
+
+    /// Critical values decrease with sample size (more data, easier
+    /// significance).
+    #[test]
+    fn critical_values_monotone(n in 4usize..10) {
+        let a = spearman_critical_one_tail_p05(n).unwrap();
+        let b = spearman_critical_one_tail_p05(n + 1).unwrap();
+        prop_assert!(b <= a);
+    }
+}

@@ -1,0 +1,127 @@
+//! Criterion benches: one per paper artifact family.
+//!
+//! Each bench runs a *quick* version of the simulation that feeds the
+//! corresponding table/figure, so `cargo bench` both regression-tests the
+//! simulator's wall-clock performance and re-exercises every artifact's
+//! code path. The full-scale regeneration lives in the `repro` binary.
+
+use affinity_sim::{
+    analysis, report, run_experiment, AffinityMode, Direction, ExperimentConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_cpu::EventCosts;
+use std::hint::black_box;
+
+fn quick(direction: Direction, size: u64, mode: AffinityMode) -> ExperimentConfig {
+    let mut c = ExperimentConfig::paper_sut(direction, size, mode);
+    c.workload.warmup_messages = 4;
+    c.workload.measure_messages = 8;
+    c
+}
+
+/// Figure 3/4: the throughput/cost sweep cell.
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fig4");
+    group.sample_size(10);
+    for mode in AffinityMode::ALL {
+        group.bench_function(format!("tx_4096_{}", mode.label().replace(' ', "_")), |b| {
+            b.iter(|| {
+                let r = run_experiment(&quick(Direction::Tx, 4096, mode)).unwrap();
+                black_box(r.metrics.throughput_mbps());
+                black_box(r.metrics.cost_ghz_per_gbps());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Table 1: baseline characterization panel (no vs full).
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("tx_64k_panel", |b| {
+        b.iter(|| {
+            let no = run_experiment(&quick(Direction::Tx, 65536, AffinityMode::None)).unwrap();
+            let full = run_experiment(&quick(Direction::Tx, 65536, AffinityMode::Full)).unwrap();
+            black_box(report::render_table1_panel("TX 64KB", &no.metrics, &full.metrics));
+        });
+    });
+    group.finish();
+}
+
+/// Table 2: spinlock behaviour.
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("locks_panel", |b| {
+        b.iter(|| {
+            let no = run_experiment(&quick(Direction::Rx, 65536, AffinityMode::None)).unwrap();
+            let full = run_experiment(&quick(Direction::Rx, 65536, AffinityMode::Full)).unwrap();
+            black_box(report::render_table2(&no.metrics, &full.metrics));
+        });
+    });
+    group.finish();
+}
+
+/// Figure 5: impact indicators.
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("indicators_rx_128", |b| {
+        let run = run_experiment(&quick(Direction::Rx, 128, AffinityMode::None)).unwrap();
+        b.iter(|| {
+            black_box(analysis::impact_indicators(
+                &run.metrics.total,
+                &EventCosts::paper(),
+            ));
+        });
+    });
+    group.finish();
+}
+
+/// Table 3: Amdahl decomposition.
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("amdahl_tx_64k", |b| {
+        let no = run_experiment(&quick(Direction::Tx, 65536, AffinityMode::None)).unwrap();
+        let full = run_experiment(&quick(Direction::Tx, 65536, AffinityMode::Full)).unwrap();
+        b.iter(|| black_box(analysis::bin_improvements(&no.metrics, &full.metrics)));
+    });
+    group.finish();
+}
+
+/// Table 4: per-CPU machine-clear symbol report.
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("clear_symbols_tx_128", |b| {
+        let run = run_experiment(&quick(Direction::Tx, 128, AffinityMode::None)).unwrap();
+        b.iter(|| black_box(report::render_table4("TX 128B", &run, 10)));
+    });
+    group.finish();
+}
+
+/// Table 5: Spearman rank correlation.
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("spearman", |b| {
+        let xs: Vec<f64> = (0..7).map(|i| (i as f64 * 1.7).sin()).collect();
+        let ys: Vec<f64> = (0..7).map(|i| (i as f64 * 0.9).cos()).collect();
+        b.iter(|| black_box(analysis::spearman(&xs, &ys)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3_fig4,
+    bench_table1,
+    bench_table2,
+    bench_fig5,
+    bench_table3,
+    bench_table4,
+    bench_table5
+);
+criterion_main!(benches);

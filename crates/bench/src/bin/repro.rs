@@ -1,0 +1,170 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro                # everything
+//! repro fig3           # one artifact: fig3 fig4 fig5 table1..table5 fourp
+//! repro --sizes 128,65536 fig3   # restrict the size sweep
+//! ```
+
+use affinity_sim::{
+    report, AffinityMode, Direction, ExperimentConfig, RunMetrics, RunResult, PAPER_SIZES,
+};
+use bench::{figure_row, run_cell, EXTREME_POINTS};
+use sim_cpu::EventCosts;
+
+fn parse_args() -> (Vec<String>, Vec<u64>) {
+    let mut artifacts = Vec::new();
+    let mut sizes: Vec<u64> = PAPER_SIZES.to_vec();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--sizes" {
+            let list = args.next().unwrap_or_default();
+            sizes = list
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect();
+        } else {
+            artifacts.push(arg);
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts = ["fig3", "fig4", "table1", "table2", "fig5", "table3", "table4", "table5", "fourp"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+    }
+    (artifacts, sizes)
+}
+
+fn sweep(direction: Direction, sizes: &[u64]) -> Vec<(u64, Vec<(AffinityMode, RunMetrics)>)> {
+    sizes
+        .iter()
+        .map(|&size| {
+            eprintln!("  sweep {direction} {size}B ...");
+            (size, figure_row(direction, size))
+        })
+        .collect()
+}
+
+/// The four extreme points under no and full affinity (single seed; used
+/// by Tables 1/3/4/5 and Figure 5).
+fn extreme_runs() -> Vec<(String, RunResult, RunResult)> {
+    EXTREME_POINTS
+        .iter()
+        .map(|&(dir, size)| {
+            let label = format!(
+                "{} {}",
+                dir.label(),
+                if size == 65536 { "64KB" } else { "128B" }
+            );
+            eprintln!("  extreme point {label} ...");
+            let no = run_cell(dir, size, AffinityMode::None, 0x5EED);
+            let full = run_cell(dir, size, AffinityMode::Full, 0x5EED);
+            (label, no, full)
+        })
+        .collect()
+}
+
+fn main() {
+    let (artifacts, sizes) = parse_args();
+    let wants = |name: &str| artifacts.iter().any(|a| a == name);
+
+    let need_sweep = wants("fig3") || wants("fig4");
+    let sweeps = if need_sweep {
+        eprintln!("running Figure 3/4 sweeps ({} sizes x 4 modes x 2 dirs)...", sizes.len());
+        Some((sweep(Direction::Tx, &sizes), sweep(Direction::Rx, &sizes)))
+    } else {
+        None
+    };
+
+    let need_extremes = ["table1", "table2", "fig5", "table3", "table4", "table5"]
+        .iter()
+        .any(|a| wants(a));
+    let extremes = if need_extremes {
+        eprintln!("running the four extreme points (no vs full affinity)...");
+        Some(extreme_runs())
+    } else {
+        None
+    };
+
+    if let Some((tx, rx)) = &sweeps {
+        if wants("fig3") {
+            println!("{}", report::render_figure3("TX", tx));
+            println!("{}", report::render_figure3("RX", rx));
+        }
+        if wants("fig4") {
+            println!("{}", report::render_figure4("TX", tx));
+            println!("{}", report::render_figure4("RX", rx));
+        }
+    }
+
+    if let Some(extremes) = &extremes {
+        if wants("table1") {
+            for (label, no, full) in extremes {
+                println!("{}", report::render_table1_panel(label, &no.metrics, &full.metrics));
+            }
+        }
+        if wants("table2") {
+            let (label, no, full) = &extremes[0];
+            println!("(from {label})");
+            println!("{}", report::render_table2(&no.metrics, &full.metrics));
+        }
+        if wants("fig5") {
+            let costs = EventCosts::paper();
+            for (label, no, full) in extremes {
+                println!(
+                    "{}",
+                    report::render_figure5_panel(&format!("{label} no affinity"), &no.metrics, &costs)
+                );
+                println!(
+                    "{}",
+                    report::render_figure5_panel(&format!("{label} full affinity"), &full.metrics, &costs)
+                );
+            }
+        }
+        if wants("table3") {
+            for (label, no, full) in extremes {
+                println!("{}", report::render_table3_panel(label, &no.metrics, &full.metrics));
+            }
+        }
+        if wants("table4") {
+            for (label, no, full) in extremes {
+                if label.contains("128B") {
+                    println!("{}", report::render_table4(&format!("{label} no affinity"), no, 10));
+                    println!("{}", report::render_table4(&format!("{label} full affinity"), full, 10));
+                }
+            }
+        }
+        if wants("table5") {
+            let entries: Vec<(String, RunMetrics, RunMetrics)> = extremes
+                .iter()
+                .map(|(l, no, full)| (l.clone(), no.metrics.clone(), full.metrics.clone()))
+                .collect();
+            println!("{}", report::render_table5(&entries));
+        }
+    }
+
+    if wants("fourp") {
+        println!("4P extension (Section 5 note): 4 CPUs, 8 NICs, 64KB TX");
+        println!(
+            "{:>10} | {:>9} | {:>6} | {:>20}",
+            "mode", "BW (Mb/s)", "cost", "per-CPU utilization"
+        );
+        for mode in AffinityMode::ALL {
+            let mut config = ExperimentConfig::four_processor(Direction::Tx, 65536, mode);
+            config.workload.measure_messages = 24;
+            config.workload.warmup_messages = 8;
+            let r = affinity_sim::run_experiment(&config).expect("valid 4P config");
+            let utils: Vec<String> = (0..4)
+                .map(|c| format!("{:.2}", r.metrics.cpu_utilization(c)))
+                .collect();
+            println!(
+                "{:>10} | {:>9.0} | {:>6.2} | {}",
+                mode.label(),
+                r.metrics.throughput_mbps(),
+                r.metrics.cost_ghz_per_gbps(),
+                utils.join(" ")
+            );
+        }
+    }
+}

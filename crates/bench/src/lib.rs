@@ -1,0 +1,131 @@
+//! Shared harness code for the `repro` binary and the criterion benches.
+//!
+//! The heavy lifting lives in [`affinity_sim`]; this crate adds the
+//! experiment *matrices* the paper's evaluation section defines (which
+//! sizes, which modes, which extreme points) and seed-averaged sweeps.
+
+use affinity_sim::{
+    run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics, RunResult,
+};
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+/// Seeds averaged for figure-level numbers (placement dynamics in the
+/// unpinned modes are seed-sensitive, like real scheduler runs).
+pub const FIGURE_SEEDS: [u64; 2] = [0x5EED, 42];
+
+/// The four "extreme data points" §6 analyses in depth.
+pub const EXTREME_POINTS: [(Direction, u64); 4] = [
+    (Direction::Tx, 65536),
+    (Direction::Tx, 128),
+    (Direction::Rx, 65536),
+    (Direction::Rx, 128),
+];
+
+/// Builds the paper-scale experiment for one cell of the evaluation
+/// matrix, with measurement counts trimmed to keep the full regeneration
+/// run tractable.
+#[must_use]
+pub fn cell(direction: Direction, size: u64, mode: AffinityMode, seed: u64) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_sut(direction, size, mode).with_seed(seed);
+    // ~1 MB measured per connection, bounded for wall-clock sanity.
+    config.workload.measure_messages = (1024 * 1024 / size).clamp(16, 800) as u32;
+    config.workload.warmup_messages = (config.workload.measure_messages / 3).max(6);
+    config
+}
+
+/// Runs one cell and returns its metrics.
+///
+/// # Panics
+///
+/// Panics if the experiment configuration is invalid (a bug in the
+/// harness, not an I/O condition).
+#[must_use]
+pub fn run_cell(direction: Direction, size: u64, mode: AffinityMode, seed: u64) -> RunResult {
+    run_experiment(&cell(direction, size, mode, seed)).expect("valid experiment config")
+}
+
+/// Averages the scalar metrics of several runs (throughput/cost fields);
+/// event counters are taken from the first run, scaled to the mean
+/// throughput — adequate for figure rendering.
+#[must_use]
+pub fn seed_averaged(direction: Direction, size: u64, mode: AffinityMode) -> RunMetrics {
+    let runs: Vec<RunMetrics> = FIGURE_SEEDS
+        .iter()
+        .map(|&s| run_cell(direction, size, mode, s).metrics)
+        .collect();
+    average_metrics(&runs)
+}
+
+/// Averages a set of run metrics: wall/busy cycles and bytes are averaged
+/// so derived rates (throughput, utilization, cost) equal the mean of the
+/// individual runs' inputs.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
+    assert!(!runs.is_empty(), "need at least one run");
+    let n = runs.len() as u64;
+    let mut avg = runs[0].clone();
+    avg.wall_cycles = runs.iter().map(|r| r.wall_cycles).sum::<u64>() / n;
+    avg.bytes_moved = runs.iter().map(|r| r.bytes_moved).sum::<u64>() / n;
+    avg.messages = runs.iter().map(|r| r.messages).sum::<u64>() / n;
+    for c in 0..avg.busy_cycles.len() {
+        avg.busy_cycles[c] = runs.iter().map(|r| r.busy_cycles[c]).sum::<u64>() / n;
+    }
+    avg
+}
+
+/// Runs a whole figure row (all four modes for one size/direction) in
+/// parallel worker threads, seed-averaged.
+#[must_use]
+pub fn figure_row(direction: Direction, size: u64) -> Vec<(AffinityMode, RunMetrics)> {
+    let results = Mutex::new(Vec::new());
+    thread::scope(|s| {
+        for mode in AffinityMode::ALL {
+            let results = &results;
+            s.spawn(move |_| {
+                let metrics = seed_averaged(direction, size, mode);
+                results.lock().push((mode, metrics));
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+    let mut rows = results.into_inner();
+    rows.sort_by_key(|(mode, _)| AffinityMode::ALL.iter().position(|m| m == mode));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_scales_counts_with_size() {
+        let small = cell(Direction::Tx, 128, AffinityMode::None, 1);
+        let large = cell(Direction::Tx, 65536, AffinityMode::None, 1);
+        assert!(small.workload.measure_messages > large.workload.measure_messages);
+        assert_eq!(large.workload.measure_messages, 16);
+    }
+
+    #[test]
+    fn average_metrics_means_rates() {
+        let mut a = run_cell(Direction::Tx, 1024, AffinityMode::Full, 1).metrics;
+        let mut b = a.clone();
+        a.wall_cycles = 100;
+        a.bytes_moved = 100;
+        b.wall_cycles = 300;
+        b.bytes_moved = 100;
+        let avg = average_metrics(&[a, b]);
+        assert_eq!(avg.wall_cycles, 200);
+        assert_eq!(avg.bytes_moved, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn average_empty_panics() {
+        let _ = average_metrics(&[]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by the simulation crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the simulation engine and the machine model built on
+/// top of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A component was addressed with an id that does not exist
+    /// (e.g. pinning a task to a CPU the machine does not have).
+    UnknownId {
+        /// What kind of entity was looked up (`"cpu"`, `"task"`, …).
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An affinity mask excluded every CPU in the system.
+    EmptyAffinityMask,
+    /// An operation needed the simulation to have produced data it has not
+    /// produced yet (e.g. reading results before `run`).
+    NotRun,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownId { kind, index } => {
+                write!(f, "unknown {kind} index {index}")
+            }
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            SimError::EmptyAffinityMask => {
+                write!(f, "affinity mask selects no cpu")
+            }
+            SimError::NotRun => write!(f, "simulation has not been run yet"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl SimError {
+    /// Convenience constructor for configuration errors.
+    #[must_use]
+    pub fn config(reason: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::UnknownId {
+            kind: "cpu",
+            index: 9,
+        };
+        assert_eq!(e.to_string(), "unknown cpu index 9");
+        assert_eq!(
+            SimError::config("bad").to_string(),
+            "invalid configuration: bad"
+        );
+        assert_eq!(
+            SimError::EmptyAffinityMask.to_string(),
+            "affinity mask selects no cpu"
+        );
+        assert_eq!(SimError::NotRun.to_string(), "simulation has not been run yet");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

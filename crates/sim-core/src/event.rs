@@ -1,0 +1,242 @@
+//! A stable, deterministic event queue.
+//!
+//! Discrete-event simulators live or die by the determinism of their event
+//! ordering. [`EventQueue`] orders events first by timestamp and breaks
+//! ties by insertion sequence number, so two events scheduled for the same
+//! cycle always pop in the order they were pushed, regardless of heap
+//! internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// An event with its scheduled time and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion index; earlier pushes pop first on time ties.
+    pub seq: u64,
+    /// The caller-defined payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of timestamped events.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_cycles(5), 'b');
+/// q.push(SimTime::from_cycles(5), 'c'); // same cycle: FIFO order
+/// q.push(SimTime::from_cycles(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    /// Highest timestamp ever popped; used to reject scheduling in the past.
+    watermark: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the timestamp of the most recently
+    /// popped event: scheduling into the past would violate causality and
+    /// indicates a bug in the caller.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.watermark,
+            "event scheduled at {time} but simulation already advanced to {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the causality
+    /// watermark to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        self.watermark = ev.time;
+        Some((ev.time, ev.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event without
+    /// removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|ev| ev.time)
+    }
+
+    /// Returns the number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the most recently popped event (the current simulated
+    /// "now" from the queue's point of view).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Drops every pending event, keeping the watermark.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (t, e) in iter {
+            self.push(t, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_cycles(30), 3);
+        q.push(SimTime::from_cycles(10), 1);
+        q.push(SimTime::from_cycles(20), 2);
+        let seq: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(seq, [1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_cycles(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let seq: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(seq, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn watermark_tracks_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_cycles(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_cycles(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already advanced")]
+    fn rejects_scheduling_in_the_past() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_cycles(10), ());
+        q.pop();
+        q.push(SimTime::from_cycles(9), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_cycles(10), 1);
+        q.pop();
+        q.push(SimTime::from_cycles(10), 2); // same cycle as "now": fine
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_cycles(3), 'x');
+        assert_eq!(q.peek_time(), Some(SimTime::from_cycles(3)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn extend_pushes_all() {
+        let mut q = EventQueue::new();
+        q.extend((0..5).map(|i| (SimTime::from_cycles(i), i)));
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn clear_keeps_watermark() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_cycles(10), ());
+        q.pop();
+        q.push(SimTime::from_cycles(20), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_cycles(10));
+    }
+}

@@ -1,0 +1,357 @@
+//! Statistics helpers used by the measurement and analysis layers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Running mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use sim_core::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     acc.add(x);
+/// }
+/// assert_eq!(acc.count(), 3);
+/// assert!((acc.mean() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than 2 observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Fixed-bucket histogram over `[0, bound)` with an overflow bucket.
+///
+/// Used for e.g. per-operation latency distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `bucket_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `buckets` is zero.
+    #[must_use]
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations that fell past the last bucket.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bucket `idx` (0 when out of range).
+    #[must_use]
+    pub fn bucket(&self, idx: usize) -> u64 {
+        self.buckets.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(bucket_lower_bound, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
+    }
+
+    /// Approximate quantile (lower bound of the bucket containing it).
+    /// Returns `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(i as u64 * self.bucket_width);
+            }
+        }
+        Some(self.buckets.len() as u64 * self.bucket_width)
+    }
+}
+
+/// Tracks an amount accumulated over simulated time and converts it to a
+/// rate; used for throughput (bits over cycles) and utilization (busy
+/// cycles over wall cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateMeter {
+    amount: u64,
+}
+
+impl RateMeter {
+    /// Creates an empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        RateMeter::default()
+    }
+
+    /// Adds to the accumulated amount.
+    pub fn add(&mut self, amount: u64) {
+        self.amount = self.amount.saturating_add(amount);
+    }
+
+    /// Accumulated amount.
+    #[must_use]
+    pub fn amount(&self) -> u64 {
+        self.amount
+    }
+
+    /// Amount per cycle over an elapsed window (0 rate for a 0 window).
+    #[must_use]
+    pub fn per_cycle(&self, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.amount as f64 / elapsed_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_mean_and_variance() {
+        let mut acc = Accumulator::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            acc.add(x);
+        }
+        assert_eq!(acc.count(), 4);
+        assert!((acc.mean() - 2.5).abs() < 1e-12);
+        assert!((acc.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 4.0);
+    }
+
+    #[test]
+    fn accumulator_empty_is_zeroish() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Accumulator::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &data[..37] {
+            left.add(x);
+        }
+        for &x in &data[37..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty() {
+        let mut a = Accumulator::new();
+        a.add(5.0);
+        let b = Accumulator::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Accumulator::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 5.0);
+    }
+
+    #[test]
+    fn histogram_basic_buckets() {
+        let mut h = Histogram::new(10, 5);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(49);
+        h.record(50); // overflow
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(49));
+        assert_eq!(h.quantile(1.0), Some(99));
+        let empty = Histogram::new(1, 10);
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_iter_lower_bounds() {
+        let h = Histogram::new(8, 3);
+        let bounds: Vec<u64> = h.iter().map(|(b, _)| b).collect();
+        assert_eq!(bounds, [0, 8, 16]);
+    }
+
+    #[test]
+    fn rate_meter() {
+        let mut m = RateMeter::new();
+        m.add(1000);
+        m.add(500);
+        assert_eq!(m.amount(), 1500);
+        assert!((m.per_cycle(3000) - 0.5).abs() < 1e-12);
+        assert_eq!(m.per_cycle(0), 0.0);
+    }
+}

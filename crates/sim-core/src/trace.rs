@@ -1,0 +1,198 @@
+//! Bounded execution tracing.
+//!
+//! A [`TraceRing`] keeps the last *N* timestamped entries of a
+//! simulation run — enough to reconstruct "what just happened" when a
+//! run wedges or produces a surprising number, without unbounded memory
+//! growth over multi-million-event runs.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::SimTime;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry<E> {
+    /// When the event was recorded.
+    pub time: SimTime,
+    /// Monotonic sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+/// A fixed-capacity ring of timestamped trace entries.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{SimTime, TraceRing};
+///
+/// let mut trace = TraceRing::new(2);
+/// trace.record(SimTime::from_cycles(1), "a");
+/// trace.record(SimTime::from_cycles(2), "b");
+/// trace.record(SimTime::from_cycles(3), "c"); // evicts "a"
+/// let events: Vec<&str> = trace.iter().map(|e| e.event).collect();
+/// assert_eq!(events, ["b", "c"]);
+/// assert_eq!(trace.recorded(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRing<E> {
+    entries: VecDeque<TraceEntry<E>>,
+    capacity: usize,
+    next_seq: u64,
+    enabled: bool,
+}
+
+impl<E> TraceRing<E> {
+    /// Creates a ring holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceRing {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            enabled: true,
+        }
+    }
+
+    /// Records an entry (dropped silently when disabled).
+    pub fn record(&mut self, time: SimTime, event: E) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Turns recording on or off (off = `record` is a cheap no-op).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry<E>> {
+        self.entries.iter()
+    }
+
+    /// Number of entries currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total entries ever recorded (including evicted ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drops all retained entries (keeps the sequence counter).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The most recent entry, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&TraceEntry<E>> {
+        self.entries.back()
+    }
+}
+
+impl<E: fmt::Display> TraceRing<E> {
+    /// Renders the retained entries one per line — the "tail" a panic
+    /// handler or debugger wants.
+    #[must_use]
+    pub fn render_tail(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "[{:>12}] #{:<8} {}", e.time, e.seq, e.event);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_tail() {
+        let mut t = TraceRing::new(3);
+        for i in 0..10u32 {
+            t.record(SimTime::from_cycles(u64::from(i)), i);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 10);
+        let seqs: Vec<u64> = t.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [7, 8, 9]);
+        assert_eq!(t.last().unwrap().event, 9);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = TraceRing::new(4);
+        t.record(SimTime::ZERO, 'a');
+        t.set_enabled(false);
+        assert!(!t.is_enabled());
+        t.record(SimTime::ZERO, 'b');
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.recorded(), 1);
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, 'c');
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_counter() {
+        let mut t = TraceRing::new(2);
+        t.record(SimTime::ZERO, 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 1);
+        t.record(SimTime::ZERO, 2);
+        assert_eq!(t.iter().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn render_tail_lines() {
+        let mut t = TraceRing::new(2);
+        t.record(SimTime::from_cycles(5), "wake ttcp0");
+        t.record(SimTime::from_cycles(9), "irq 0x19");
+        let s = t.render_tail();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("wake ttcp0"));
+        assert!(s.contains("9cy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: TraceRing<()> = TraceRing::new(0);
+    }
+}

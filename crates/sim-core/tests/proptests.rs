@@ -1,0 +1,110 @@
+//! Property-based tests for the simulation engine's invariants.
+
+use proptest::prelude::*;
+use sim_core::{Accumulator, EventQueue, Histogram, SimRng, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, and equal-time
+    /// events pop in insertion order.
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_cycles(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated for equal times");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// Popping never yields more or fewer events than were pushed.
+    #[test]
+    fn event_queue_conserves_events(times in prop::collection::vec(0u64..100, 0..100)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(SimTime::from_cycles(t), ());
+        }
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// `next_below(b)` is always `< b`, for any seed and bound.
+    #[test]
+    fn rng_next_below_in_bounds(seed: u64, bound in 1u64..u64::MAX) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// `range(lo, hi)` stays inside the half-open interval.
+    #[test]
+    fn rng_range_in_bounds(seed: u64, lo in 0u64..1000, width in 1u64..1000) {
+        let mut rng = SimRng::new(seed);
+        let hi = lo + width;
+        for _ in 0..20 {
+            let x = rng.range(lo, hi);
+            prop_assert!((lo..hi).contains(&x));
+        }
+    }
+
+    /// Identical seeds give identical streams; shuffles are permutations.
+    #[test]
+    fn rng_shuffle_is_permutation(seed: u64, n in 0usize..64) {
+        let mut rng = SimRng::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Parallel (merged) Welford equals the sequential accumulation.
+    #[test]
+    fn accumulator_merge_equals_sequential(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &xs[..split] {
+            left.add(x);
+        }
+        for &x in &xs[split..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        if !xs.is_empty() {
+            prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((left.variance() - whole.variance()).abs() < 1.0);
+        }
+    }
+
+    /// Histogram never loses observations.
+    #[test]
+    fn histogram_conserves_counts(values in prop::collection::vec(0u64..10_000, 0..200)) {
+        let mut h = Histogram::new(64, 32);
+        for &v in &values {
+            h.record(v);
+        }
+        let bucketed: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucketed + h.overflow(), values.len() as u64);
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+}

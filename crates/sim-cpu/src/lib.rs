@@ -1,0 +1,68 @@
+//! # sim-cpu
+//!
+//! CPU core model for the ISPASS 2005 affinity reproduction.
+//!
+//! The paper's methodology (its Figure 5) prices each architectural event
+//! with a first-order penalty — a machine clear costs ~500 cycles, a
+//! last-level-cache miss ~300, a branch mispredict ~30 — and checks that
+//! those penalties explain where the time went. This crate turns that
+//! methodology into the *forward* model: executing a unit of work costs
+//!
+//! ```text
+//! cycles = instructions × base_cpi
+//!        + Σ_event  count(event) × penalty(event)
+//! ```
+//!
+//! where the event counts come from the real cache/TLB models in
+//! [`sim_mem`] and from interrupt/IPI deliveries (machine clears). CPI and
+//! MPI in the reproduced tables are therefore *measured outputs* of the
+//! simulation, not inputs.
+//!
+//! Key types:
+//!
+//! * [`HwEvent`] / [`EventCosts`] — the event vocabulary and the penalty
+//!   table (defaults are the paper's Figure 5 numbers);
+//! * [`PerfCounters`] — a bank of per-event counters, the simulated
+//!   analogue of the P4's performance-monitoring registers;
+//! * [`WorkItem`] — a unit of work (a function body execution): an
+//!   instruction count, a code footprint, a list of data touches,
+//!   branch statistics;
+//! * [`Core`] — executes work items against a [`sim_mem::MemorySystem`],
+//!   charges machine clears for interrupt/IPI deliveries, and keeps
+//!   cumulative counters.
+//!
+//! ## Example
+//!
+//! ```
+//! use sim_core::CpuId;
+//! use sim_cpu::{ClearReason, Core, CpuConfig, DataTouch, WorkItem};
+//! use sim_mem::{MemoryConfig, MemorySystem};
+//!
+//! let mut mem = MemorySystem::new(MemoryConfig::paper_sut(1));
+//! let code = mem.add_region("f.text", 512);
+//! let data = mem.add_region("f.data", 4096);
+//! let mut core = Core::new(CpuId::new(0), CpuConfig::paper_sut());
+//!
+//! let item = WorkItem::new(1000)
+//!     .code(code, 512)
+//!     .touch(DataTouch::read(data, 0, 4096))
+//!     .branch_fraction(0.15)
+//!     .mispredict_rate(0.01);
+//! let out = core.execute(&mut mem, &item);
+//! assert!(out.cycles > 1000); // misses make CPI > base
+//! let penalty = core.machine_clear(ClearReason::DeviceInterrupt);
+//! assert_eq!(penalty, 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_model;
+mod counters;
+mod events;
+mod work;
+
+pub use core_model::{Core, CpuConfig, ExecOutcome};
+pub use counters::PerfCounters;
+pub use events::{ClearReason, EventCosts, HwEvent};
+pub use work::{DataTouch, WorkItem};

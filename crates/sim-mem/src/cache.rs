@@ -1,0 +1,368 @@
+//! A set-associative cache with LRU replacement.
+//!
+//! The cache operates on *line addresses* (byte address divided by line
+//! size) and tracks only presence and dirtiness — data values never matter
+//! to the characterization, only hit/miss behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a cache access reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store (write-allocate: a miss still fills the line).
+    Write,
+}
+
+/// Hit/miss/traffic counters for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that found the line resident.
+    pub hits: u64,
+    /// Accesses that had to fill the line.
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Lines removed by coherence invalidations.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all accesses (0 when idle).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp: larger = more recently used.
+    lru: u64,
+}
+
+const INVALID_WAY: Way = Way {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+};
+
+/// A set-associative, write-allocate, LRU cache over line addresses.
+///
+/// # Example
+///
+/// ```
+/// use sim_mem::{AccessKind, Cache};
+///
+/// let mut c = Cache::new("l1", 4, 2); // 4 sets x 2 ways
+/// assert!(!c.access(0, AccessKind::Read).hit);
+/// assert!(c.access(0, AccessKind::Read).hit);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    name: String,
+    sets: usize,
+    ways: usize,
+    set_mask: u64,
+    storage: Vec<Way>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// Outcome of a single [`Cache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The line was already resident.
+    pub hit: bool,
+    /// A victim line (its line address) was evicted to make room.
+    pub evicted: Option<u64>,
+    /// The evicted victim was dirty (would be written back).
+    pub evicted_dirty: bool,
+}
+
+impl Cache {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        Cache {
+            name: name.into(),
+            sets,
+            ways,
+            set_mask: sets as u64 - 1,
+            storage: vec![INVALID_WAY; sets * ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache from byte capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`Cache::new`]).
+    #[must_use]
+    pub fn with_geometry(name: impl Into<String>, size: u32, assoc: u32, line_size: u32) -> Self {
+        let lines = (size / line_size) as usize;
+        let ways = assoc as usize;
+        Cache::new(name, lines / ways, ways)
+    }
+
+    /// The configured name (for reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Accesses `line`, filling it on a miss (write-allocate).
+    pub fn access(&mut self, line: u64, kind: AccessKind) -> AccessOutcome {
+        self.clock += 1;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        let slots = &mut self.storage[base..base + self.ways];
+
+        // Hit?
+        if let Some(way) = slots.iter_mut().find(|w| w.valid && w.tag == line) {
+            way.lru = self.clock;
+            if kind == AccessKind::Write {
+                way.dirty = true;
+            }
+            self.stats.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+                evicted_dirty: false,
+            };
+        }
+
+        self.stats.misses += 1;
+
+        // Fill: prefer an invalid way, else evict LRU.
+        let victim_idx = slots
+            .iter()
+            .enumerate()
+            .find(|(_, w)| !w.valid)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .expect("ways > 0")
+            });
+
+        let victim = slots[victim_idx];
+        let (evicted, evicted_dirty) = if victim.valid {
+            self.stats.evictions += 1;
+            (Some(victim.tag), victim.dirty)
+        } else {
+            (None, false)
+        };
+
+        slots[victim_idx] = Way {
+            tag: line,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            lru: self.clock,
+        };
+
+        AccessOutcome {
+            hit: false,
+            evicted,
+            evicted_dirty,
+        }
+    }
+
+    /// Returns `true` if `line` is resident (does not touch LRU state).
+    #[must_use]
+    pub fn contains(&self, line: u64) -> bool {
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        self.storage[base..base + self.ways]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+
+    /// Removes `line` if resident (coherence invalidation). Returns whether
+    /// the line was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        if let Some(way) = self.storage[base..base + self.ways]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == line)
+        {
+            way.valid = false;
+            way.dirty = false;
+            self.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks `line` clean if resident (coherence downgrade on a remote
+    /// read of a modified line).
+    pub fn clean(&mut self, line: u64) {
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        if let Some(way) = self.storage[base..base + self.ways]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == line)
+        {
+            way.dirty = false;
+        }
+    }
+
+    /// Drops every line (e.g. simulating a full flush).
+    pub fn flush(&mut self) {
+        for w in &mut self.storage {
+            *w = INVALID_WAY;
+        }
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the counters (keeps contents) — used to discard warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of currently valid lines.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.storage.iter().filter(|w| w.valid).count()
+    }
+
+    /// Total capacity in lines.
+    #[must_use]
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new("t", 2, 2) // 4 lines total
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(5, AccessKind::Read).hit);
+        assert!(c.access(5, AccessKind::Read).hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = Cache::new("t", 1, 2); // one set, two ways
+        c.access(1, AccessKind::Read);
+        c.access(2, AccessKind::Read);
+        c.access(1, AccessKind::Read); // 2 becomes LRU
+        let out = c.access(3, AccessKind::Read);
+        assert_eq!(out.evicted, Some(2));
+        assert!(c.contains(1));
+        assert!(c.contains(3));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_it() {
+        let mut c = Cache::new("t", 1, 1);
+        c.access(7, AccessKind::Write);
+        let out = c.access(8, AccessKind::Read);
+        assert_eq!(out.evicted, Some(7));
+        assert!(out.evicted_dirty);
+    }
+
+    #[test]
+    fn clean_clears_dirtiness() {
+        let mut c = Cache::new("t", 1, 1);
+        c.access(7, AccessKind::Write);
+        c.clean(7);
+        let out = c.access(8, AccessKind::Read);
+        assert!(!out.evicted_dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.access(4, AccessKind::Write);
+        assert!(c.invalidate(4));
+        assert!(!c.contains(4));
+        assert!(!c.invalidate(4)); // second time: not present
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn sets_isolate_addresses() {
+        let mut c = Cache::new("t", 2, 1);
+        // Lines 0 and 2 map to set 0; line 1 maps to set 1.
+        c.access(0, AccessKind::Read);
+        c.access(1, AccessKind::Read);
+        c.access(2, AccessKind::Read); // evicts 0, not 1
+        assert!(!c.contains(0));
+        assert!(c.contains(1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn geometry_constructor() {
+        let c = Cache::with_geometry("l1", 8 * 1024, 4, 64);
+        assert_eq!(c.capacity_lines(), 128);
+        assert_eq!(c.name(), "l1");
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = small();
+        c.access(1, AccessKind::Read);
+        c.access(2, AccessKind::Read);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = small();
+        c.access(1, AccessKind::Read);
+        c.access(1, AccessKind::Read);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small();
+        c.access(1, AccessKind::Read);
+        c.reset_stats();
+        assert_eq!(c.stats().misses, 0);
+        assert!(c.access(1, AccessKind::Read).hit);
+    }
+}

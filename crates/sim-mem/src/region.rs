@@ -1,0 +1,218 @@
+//! Named memory regions.
+//!
+//! Higher layers (the TCP stack model, the NIC model) never compute raw
+//! addresses; they allocate a [`MemRegion`] per logical object — a
+//! connection's TCP context, a socket buffer, a payload buffer, a NIC
+//! descriptor ring, a function's code footprint — and touch byte ranges
+//! within it. The [`RegionTable`] lays regions out in a flat physical
+//! address space, page-aligned so that distinct regions never share a
+//! cache line or a page.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a region allocated from a [`RegionTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(u32);
+
+impl RegionId {
+    /// Raw index into the owning table.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region{}", self.0)
+    }
+}
+
+/// A contiguous, page-aligned span of simulated physical memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRegion {
+    name: String,
+    base: u64,
+    size: u64,
+}
+
+impl MemRegion {
+    /// Human-readable name ("conn3.tcp_context", "nic0.rx_ring", …).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First byte address.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Byte address of `offset` within the region, wrapping at the region
+    /// size so cyclic buffers (rings, reused payload buffers) can be
+    /// touched with a monotonically increasing offset.
+    #[must_use]
+    pub fn addr(&self, offset: u64) -> u64 {
+        self.base + (offset % self.size)
+    }
+}
+
+/// Allocator and directory of all simulated memory regions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegionTable {
+    regions: Vec<MemRegion>,
+    next_base: u64,
+    page_size: u64,
+}
+
+impl RegionTable {
+    /// Creates a table that aligns regions to `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a positive power of two.
+    #[must_use]
+    pub fn new(page_size: u64) -> Self {
+        assert!(
+            page_size > 0 && page_size.is_power_of_two(),
+            "page size must be a positive power of two"
+        );
+        RegionTable {
+            regions: Vec::new(),
+            // Leave page 0 unmapped, like a real kernel.
+            next_base: page_size,
+            page_size,
+        }
+    }
+
+    /// Allocates a region of at least `size` bytes (rounded up to one line
+    /// is the caller's concern; zero-size regions are rounded up to one
+    /// byte so `addr()` never divides by zero).
+    pub fn add(&mut self, name: impl Into<String>, size: u64) -> RegionId {
+        let size = size.max(1);
+        let id = RegionId(self.regions.len() as u32);
+        let region = MemRegion {
+            name: name.into(),
+            base: self.next_base,
+            size,
+        };
+        // Advance to the next page boundary past the region.
+        let end = self.next_base + size;
+        self.next_base = end.div_ceil(self.page_size) * self.page_size;
+        self.regions.push(region);
+        id
+    }
+
+    /// Looks up a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this table.
+    #[must_use]
+    pub fn get(&self, id: RegionId) -> &MemRegion {
+        &self.regions[id.index()]
+    }
+
+    /// Number of regions allocated.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` if no regions have been allocated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Iterates over `(id, region)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, &MemRegion)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RegionId(i as u32), r))
+    }
+
+    /// Total bytes of simulated memory spanned (including alignment gaps).
+    #[must_use]
+    pub fn footprint(&self) -> u64 {
+        self.next_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_page_aligned_and_disjoint() {
+        let mut t = RegionTable::new(4096);
+        let a = t.add("a", 100);
+        let b = t.add("b", 5000);
+        let c = t.add("c", 1);
+        let (ra, rb, rc) = (t.get(a), t.get(b), t.get(c));
+        assert_eq!(ra.base() % 4096, 0);
+        assert_eq!(rb.base() % 4096, 0);
+        assert!(ra.base() + ra.size() <= rb.base());
+        assert!(rb.base() + rb.size() <= rc.base());
+    }
+
+    #[test]
+    fn page_zero_unmapped() {
+        let mut t = RegionTable::new(4096);
+        let a = t.add("a", 8);
+        assert!(t.get(a).base() >= 4096);
+    }
+
+    #[test]
+    fn addr_wraps_at_region_size() {
+        let mut t = RegionTable::new(4096);
+        let a = t.add("ring", 256);
+        let r = t.get(a);
+        assert_eq!(r.addr(0), r.base());
+        assert_eq!(r.addr(256), r.base());
+        assert_eq!(r.addr(300), r.base() + 44);
+    }
+
+    #[test]
+    fn zero_size_rounds_up() {
+        let mut t = RegionTable::new(4096);
+        let a = t.add("z", 0);
+        assert_eq!(t.get(a).size(), 1);
+        let _ = t.get(a).addr(17); // must not panic
+    }
+
+    #[test]
+    fn iter_and_len() {
+        let mut t = RegionTable::new(4096);
+        t.add("x", 1);
+        t.add("y", 1);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let names: Vec<&str> = t.iter().map(|(_, r)| r.name()).collect();
+        assert_eq!(names, ["x", "y"]);
+    }
+
+    #[test]
+    fn footprint_grows() {
+        let mut t = RegionTable::new(4096);
+        assert_eq!(t.footprint(), 4096);
+        t.add("a", 4097);
+        assert_eq!(t.footprint(), 4096 + 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_rejected() {
+        let _ = RegionTable::new(1000);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the cache/coherence invariants the machine
+//! model depends on.
+
+use proptest::prelude::*;
+use sim_core::CpuId;
+use sim_mem::{AccessKind, Cache, MemoryConfig, MemorySystem, Tlb};
+
+proptest! {
+    /// Hits + misses always equals accesses, and residency never exceeds
+    /// capacity, for arbitrary access streams.
+    #[test]
+    fn cache_accounting_identities(lines in prop::collection::vec(0u64..512, 1..400)) {
+        let mut c = Cache::new("t", 8, 4); // 32 lines
+        for (i, &l) in lines.iter().enumerate() {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            c.access(l, kind);
+            prop_assert!(c.resident_lines() <= c.capacity_lines());
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, lines.len() as u64);
+    }
+
+    /// An access immediately after an access to the same line always hits.
+    #[test]
+    fn cache_back_to_back_hits(lines in prop::collection::vec(0u64..256, 1..100)) {
+        let mut c = Cache::new("t", 16, 4);
+        for &l in &lines {
+            c.access(l, AccessKind::Read);
+            let again = c.access(l, AccessKind::Read);
+            prop_assert!(again.hit, "immediate re-access of line {l} missed");
+        }
+    }
+
+    /// Invalidate really removes: a subsequent access misses.
+    #[test]
+    fn cache_invalidate_forces_miss(line in 0u64..1024) {
+        let mut c = Cache::new("t", 16, 4);
+        c.access(line, AccessKind::Write);
+        prop_assert!(c.contains(line));
+        c.invalidate(line);
+        prop_assert!(!c.contains(line));
+        prop_assert!(!c.access(line, AccessKind::Read).hit);
+    }
+
+    /// TLB: hits + misses == accesses; capacity bound holds.
+    #[test]
+    fn tlb_accounting(pages in prop::collection::vec(0u64..64, 1..200)) {
+        let mut t = Tlb::new(8);
+        for &p in &pages {
+            t.access(p);
+            prop_assert!(t.resident() <= 8);
+        }
+        let s = t.stats();
+        prop_assert_eq!(s.hits + s.misses, pages.len() as u64);
+    }
+
+    /// Coherence safety: a CPU re-reading data it just read hits, unless
+    /// another CPU wrote or a device DMA'd in between.
+    #[test]
+    fn reread_without_remote_write_hits(
+        offsets in prop::collection::vec(0u64..4000, 1..40),
+    ) {
+        let mut m = MemorySystem::new(MemoryConfig::tiny(2));
+        let r = m.add_region("x", 4096);
+        let cpu = CpuId::new(0);
+        for &off in &offsets {
+            m.data_touch(cpu, r, off, 64, false);
+            let again = m.data_touch(cpu, r, off, 64, false);
+            prop_assert_eq!(again.llc_misses, 0, "re-read missed at {}", off);
+        }
+    }
+
+    /// Coherence: after a remote write, the next local read misses the
+    /// local hierarchy; after a local re-read it hits again.
+    #[test]
+    fn remote_write_invalidates_then_recovers(off in 0u64..1024) {
+        let mut m = MemorySystem::new(MemoryConfig::tiny(2));
+        let r = m.add_region("x", 2048);
+        let (c0, c1) = (CpuId::new(0), CpuId::new(1));
+        m.data_touch(c0, r, off, 64, false);
+        m.data_touch(c1, r, off, 64, true); // remote write
+        let miss = m.data_touch(c0, r, off, 64, false);
+        prop_assert!(miss.llc_misses > 0);
+        let hit = m.data_touch(c0, r, off, 64, false);
+        prop_assert_eq!(hit.llc_misses, 0);
+    }
+
+    /// DMA writes make the touched range uncached for every CPU.
+    #[test]
+    fn dma_uncaches_everywhere(off in 0u64..1000, len in 1u64..512) {
+        let mut m = MemorySystem::new(MemoryConfig::tiny(2));
+        let r = m.add_region("buf", 2048);
+        for c in 0..2 {
+            m.data_touch(CpuId::new(c), r, off, len, false);
+        }
+        m.dma_write(r, off, len);
+        for c in 0..2 {
+            let res = m.data_touch(CpuId::new(c), r, off, len, false);
+            prop_assert!(res.llc_misses >= 1, "cpu{c} still had DMA'd data cached");
+        }
+    }
+
+    /// Touch accounting: misses never exceed lines touched, per level.
+    #[test]
+    fn touch_miss_bounds(off in 0u64..100_000, len in 1u64..8192) {
+        let mut m = MemorySystem::new(MemoryConfig::paper_sut(1));
+        let r = m.add_region("big", 128 * 1024);
+        let res = m.data_touch(CpuId::new(0), r, off, len, true);
+        prop_assert!(res.llc_misses <= res.lines);
+        prop_assert!(res.l2_misses <= res.lines);
+        prop_assert!(res.l1_misses <= res.lines);
+        prop_assert!(res.llc_misses <= res.l2_misses);
+        prop_assert!(res.l2_misses <= res.l1_misses);
+    }
+}

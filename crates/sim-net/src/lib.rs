@@ -1,0 +1,48 @@
+//! # sim-net
+//!
+//! Network-device substrate for the ISPASS 2005 affinity reproduction.
+//!
+//! The paper's testbed has eight gigabit NIC ports, each serving one
+//! long-lived `ttcp` connection; its clients are separate machines that
+//! source/sink the traffic. This crate models the pieces of that setup
+//! that interact with affinity:
+//!
+//! * [`Nic`] — a device with RX/TX descriptor rings and packet-count
+//!   interrupt coalescing. DMA goes through [`sim_mem::MemorySystem`], so
+//!   arriving payload is *uncached* for whichever CPU copies it later
+//!   (the paper's RX-copy observation) and transmit DMA forces
+//!   writebacks;
+//! * [`wire`] — MTU segmentation arithmetic shared by the stack model
+//!   and the workload generator;
+//! * [`Peer`] — a stand-in for the client machines: it acks transmitted
+//!   data (delayed-ack style, one ACK per two segments) and sources bulk
+//!   data for receive tests, with deterministic jitter.
+//!
+//! ## Example
+//!
+//! ```
+//! use sim_core::{DeviceId, IrqVector, SimRng};
+//! use sim_mem::{MemoryConfig, MemorySystem};
+//! use sim_net::{Nic, NicConfig};
+//!
+//! let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+//! let mut nic = Nic::new(DeviceId::new(0), IrqVector::new(0x19), NicConfig::default(), &mut mem);
+//! // Four 1500-byte frames arrive; coalescing raises one interrupt.
+//! let mut raised = 0;
+//! for _ in 0..4 {
+//!     if nic.dma_rx_frame(&mut mem, 1500) {
+//!         raised += 1;
+//!     }
+//! }
+//! assert_eq!(raised, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nic;
+mod peer;
+pub mod wire;
+
+pub use nic::{Nic, NicConfig, NicStats};
+pub use peer::{Peer, PeerConfig};

@@ -1,0 +1,95 @@
+//! Property-based tests for wire segmentation and NIC accounting.
+
+use proptest::prelude::*;
+use sim_core::{ConnectionId, DeviceId, IrqVector, SimRng};
+use sim_net::wire::{segment_count, segments_for};
+use sim_net::{Nic, NicConfig, Peer, PeerConfig};
+use sim_mem::{MemoryConfig, MemorySystem};
+
+proptest! {
+    /// Segmentation conserves bytes and respects the MSS for any
+    /// message/MSS combination.
+    #[test]
+    fn segmentation_conserves_bytes(bytes in 0u64..1_000_000, mss in 1u32..9000) {
+        let segs = segments_for(bytes, mss);
+        prop_assert_eq!(segs.len() as u64, segment_count(bytes, mss));
+        prop_assert_eq!(segs.iter().map(|&s| u64::from(s)).sum::<u64>(), bytes);
+        for (i, &s) in segs.iter().enumerate() {
+            prop_assert!(s > 0);
+            prop_assert!(s <= mss);
+            if i + 1 < segs.len() {
+                prop_assert_eq!(s, mss, "only the tail may be short");
+            }
+        }
+    }
+
+    /// Coalescing: interrupts raised = floor(events / coalesce) plus at
+    /// most one more from a final flush; never more than events.
+    #[test]
+    fn coalescing_interrupt_count(frames in 1u32..200, coalesce in 1u32..16) {
+        let mut mem = MemorySystem::new(MemoryConfig::tiny(1));
+        let config = NicConfig {
+            coalesce_events: coalesce,
+            ..NicConfig::default()
+        };
+        let mut nic = Nic::new(DeviceId::new(0), IrqVector::new(0x19), config, &mut mem);
+        let mut raised = 0u32;
+        for _ in 0..frames {
+            if nic.dma_rx_frame(&mut mem, 64) {
+                raised += 1;
+            }
+            // Keep the ring from overflowing.
+            nic.reclaim_rx(1);
+        }
+        prop_assert_eq!(raised, frames / coalesce);
+        if nic.flush_coalescing() {
+            raised += 1;
+        }
+        prop_assert_eq!(u64::from(raised), nic.stats().interrupts);
+        prop_assert!(raised >= frames / coalesce);
+        prop_assert!(raised <= frames);
+    }
+
+    /// Ring occupancy never exceeds capacity, and drops are counted
+    /// exactly for the overflow.
+    #[test]
+    fn ring_occupancy_bounded(frames in 0u32..600) {
+        let mut mem = MemorySystem::new(MemoryConfig::tiny(1));
+        let mut nic = Nic::new(
+            DeviceId::new(0),
+            IrqVector::new(0x19),
+            NicConfig::default(),
+            &mut mem,
+        );
+        for _ in 0..frames {
+            nic.dma_rx_frame(&mut mem, 64);
+            prop_assert!(nic.rx_outstanding() <= nic.config().ring_entries);
+        }
+        let expected_drops = frames.saturating_sub(nic.config().ring_entries);
+        prop_assert_eq!(nic.stats().rx_drops, u64::from(expected_drops));
+        prop_assert_eq!(
+            nic.stats().rx_frames,
+            u64::from(frames - expected_drops)
+        );
+    }
+
+    /// Delayed ACK: over any number of segments, ACKs generated (plus a
+    /// final flush) account for every segment at the configured ratio.
+    #[test]
+    fn peer_ack_accounting(segments in 0u32..500, ack_every in 1u32..8, seed: u64) {
+        let config = PeerConfig {
+            ack_every,
+            ..PeerConfig::default()
+        };
+        let mut peer = Peer::new(ConnectionId::new(0), config, SimRng::new(seed));
+        let mut acks = 0u64;
+        for _ in 0..segments {
+            if peer.on_data_segment().is_some() {
+                acks += 1;
+            }
+        }
+        prop_assert_eq!(acks, u64::from(segments / ack_every));
+        let flushed = peer.flush_ack().is_some();
+        prop_assert_eq!(flushed, segments % ack_every != 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! IO-APIC interrupt routing.
+//!
+//! Linux 2.4 (and Windows NT) in their default SMP configuration deliver
+//! every device interrupt to CPU0; the paper's "IRQ affinity" mode writes
+//! per-vector bitmasks into `/proc/irq/<n>/smp_affinity` to split the 8
+//! NIC vectors between the processors. [`IoApic`] models exactly that
+//! static routing table: each vector delivers to the lowest-numbered CPU
+//! in its mask.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sim_core::{CpuId, IrqVector, Result, SimError};
+
+use crate::cpumask::CpuMask;
+
+/// The interrupt router.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{CpuId, IrqVector};
+/// use sim_os::{CpuMask, IoApic};
+///
+/// let mut apic = IoApic::new(2);
+/// let vec = IrqVector::new(0x19);
+/// assert_eq!(apic.route(vec), CpuId::new(0)); // default: everything to CPU0
+/// apic.set_affinity(vec, CpuMask::single(CpuId::new(1)))?;
+/// assert_eq!(apic.route(vec), CpuId::new(1));
+/// # Ok::<(), sim_core::SimError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IoApic {
+    cpus: usize,
+    table: HashMap<IrqVector, CpuMask>,
+    delivered: HashMap<IrqVector, u64>,
+}
+
+impl IoApic {
+    /// Creates a router for a machine with `cpus` CPUs. All vectors
+    /// default to CPU0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    #[must_use]
+    pub fn new(cpus: usize) -> Self {
+        assert!(cpus > 0, "need at least one cpu");
+        IoApic {
+            cpus,
+            table: HashMap::new(),
+            delivered: HashMap::new(),
+        }
+    }
+
+    /// Sets the `smp_affinity` mask for `vector`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyAffinityMask`] if the mask selects no CPU
+    /// present on this machine (Linux rejects such writes too).
+    pub fn set_affinity(&mut self, vector: IrqVector, mask: CpuMask) -> Result<()> {
+        let effective = mask.and(CpuMask::all(self.cpus));
+        if effective.is_empty() {
+            return Err(SimError::EmptyAffinityMask);
+        }
+        self.table.insert(vector, effective);
+        Ok(())
+    }
+
+    /// The mask currently programmed for `vector` (default: CPU0 only).
+    #[must_use]
+    pub fn affinity(&self, vector: IrqVector) -> CpuMask {
+        self.table
+            .get(&vector)
+            .copied()
+            .unwrap_or_else(|| CpuMask::single(CpuId::new(0)))
+    }
+
+    /// Target CPU for a delivery of `vector`: the lowest-numbered CPU in
+    /// its mask (static IO-APIC mode — no rotation).
+    #[must_use]
+    pub fn route(&self, vector: IrqVector) -> CpuId {
+        self.affinity(vector).first().expect("mask validated non-empty")
+    }
+
+    /// Routes and records a delivery (for `/proc/interrupts`-style
+    /// accounting).
+    pub fn deliver(&mut self, vector: IrqVector) -> CpuId {
+        let cpu = self.route(vector);
+        *self.delivered.entry(vector).or_insert(0) += 1;
+        cpu
+    }
+
+    /// Number of deliveries recorded for `vector`.
+    #[must_use]
+    pub fn delivery_count(&self, vector: IrqVector) -> u64 {
+        self.delivered.get(&vector).copied().unwrap_or(0)
+    }
+
+    /// Total deliveries across all vectors.
+    #[must_use]
+    pub fn total_deliveries(&self) -> u64 {
+        self.delivered.values().sum()
+    }
+
+    /// Resets delivery counters (keeps routing).
+    pub fn reset_stats(&mut self) {
+        self.delivered.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_routes_to_cpu0() {
+        let apic = IoApic::new(2);
+        for v in [0x19u32, 0x1a, 0x27] {
+            assert_eq!(apic.route(IrqVector::new(v)), CpuId::new(0));
+        }
+    }
+
+    #[test]
+    fn affinity_redirects() {
+        let mut apic = IoApic::new(2);
+        let v = IrqVector::new(0x1b);
+        apic.set_affinity(v, CpuMask::single(CpuId::new(1))).unwrap();
+        assert_eq!(apic.route(v), CpuId::new(1));
+        // Others unaffected.
+        assert_eq!(apic.route(IrqVector::new(0x19)), CpuId::new(0));
+    }
+
+    #[test]
+    fn multi_cpu_mask_routes_to_lowest() {
+        let mut apic = IoApic::new(4);
+        let v = IrqVector::new(0x20);
+        apic.set_affinity(v, CpuMask::from_bits(0b1100)).unwrap();
+        assert_eq!(apic.route(v), CpuId::new(2));
+    }
+
+    #[test]
+    fn rejects_offline_cpu_mask() {
+        let mut apic = IoApic::new(2);
+        let err = apic.set_affinity(IrqVector::new(0x19), CpuMask::single(CpuId::new(7)));
+        assert_eq!(err.unwrap_err(), SimError::EmptyAffinityMask);
+    }
+
+    #[test]
+    fn delivery_accounting() {
+        let mut apic = IoApic::new(2);
+        let v = IrqVector::new(0x19);
+        apic.deliver(v);
+        apic.deliver(v);
+        apic.deliver(IrqVector::new(0x1a));
+        assert_eq!(apic.delivery_count(v), 2);
+        assert_eq!(apic.total_deliveries(), 3);
+        apic.reset_stats();
+        assert_eq!(apic.total_deliveries(), 0);
+        assert_eq!(apic.route(v), CpuId::new(0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-CPU bottom-half (softirq) queues.
+//!
+//! A NIC interrupt's *top half* acknowledges the device and queues the
+//! real packet processing as a bottom half; Linux runs that bottom half
+//! on the same CPU where the top half executed. That affinity between
+//! top and bottom halves is load-bearing for the paper: it is the channel
+//! through which IRQ affinity drags the rest of the stack (and then the
+//! woken process) onto the interrupt's CPU.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use sim_core::CpuId;
+
+/// Per-CPU FIFO queues of deferred work.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoftirqQueue<T> {
+    queues: Vec<VecDeque<T>>,
+    raised: u64,
+    executed: u64,
+}
+
+impl<T> SoftirqQueue<T> {
+    /// Creates queues for `cpus` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    #[must_use]
+    pub fn new(cpus: usize) -> Self {
+        assert!(cpus > 0, "need at least one cpu");
+        SoftirqQueue {
+            queues: (0..cpus).map(|_| VecDeque::new()).collect(),
+            raised: 0,
+            executed: 0,
+        }
+    }
+
+    /// Queues `work` on `cpu` (the top half's CPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn raise(&mut self, cpu: CpuId, work: T) {
+        self.queues[cpu.index()].push_back(work);
+        self.raised += 1;
+    }
+
+    /// Dequeues the next pending work item for `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn take(&mut self, cpu: CpuId) -> Option<T> {
+        let work = self.queues[cpu.index()].pop_front();
+        if work.is_some() {
+            self.executed += 1;
+        }
+        work
+    }
+
+    /// Pending items on `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    #[must_use]
+    pub fn pending(&self, cpu: CpuId) -> usize {
+        self.queues[cpu.index()].len()
+    }
+
+    /// Pending items across all CPUs.
+    #[must_use]
+    pub fn pending_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Total items ever raised.
+    #[must_use]
+    pub fn raised(&self) -> u64 {
+        self.raised
+    }
+
+    /// Total items ever executed.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_cpu() {
+        let mut q: SoftirqQueue<u32> = SoftirqQueue::new(2);
+        let (c0, c1) = (CpuId::new(0), CpuId::new(1));
+        q.raise(c0, 1);
+        q.raise(c0, 2);
+        q.raise(c1, 10);
+        assert_eq!(q.pending(c0), 2);
+        assert_eq!(q.pending_total(), 3);
+        assert_eq!(q.take(c0), Some(1));
+        assert_eq!(q.take(c0), Some(2));
+        assert_eq!(q.take(c0), None);
+        assert_eq!(q.take(c1), Some(10));
+        assert_eq!(q.raised(), 3);
+        assert_eq!(q.executed(), 3);
+    }
+
+    #[test]
+    fn bottom_half_stays_on_raising_cpu() {
+        let mut q: SoftirqQueue<&str> = SoftirqQueue::new(2);
+        q.raise(CpuId::new(1), "rx");
+        assert_eq!(q.pending(CpuId::new(0)), 0);
+        assert_eq!(q.take(CpuId::new(1)), Some("rx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cpu")]
+    fn zero_cpus_rejected() {
+        let _: SoftirqQueue<()> = SoftirqQueue::new(0);
+    }
+}

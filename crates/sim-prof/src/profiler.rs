@@ -1,0 +1,233 @@
+//! The `(cpu × function)` event matrix.
+
+use serde::{Deserialize, Serialize};
+use sim_core::CpuId;
+use sim_cpu::PerfCounters;
+
+use crate::registry::{FuncId, FunctionRegistry};
+
+/// Dense per-CPU, per-function event accounting.
+///
+/// The execution layers call [`record`](Profiler::record) after every
+/// function execution (and after every machine-clear attribution); the
+/// analysis layer then slices the matrix by CPU, by function or by
+/// functional group to regenerate the paper's tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Profiler {
+    cpus: usize,
+    /// `matrix[cpu][func]`, grown on demand as functions register.
+    matrix: Vec<Vec<PerfCounters>>,
+}
+
+impl Profiler {
+    /// Creates a profiler for `cpus` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    #[must_use]
+    pub fn new(cpus: usize) -> Self {
+        assert!(cpus > 0, "need at least one cpu");
+        Profiler {
+            cpus,
+            matrix: vec![Vec::new(); cpus],
+        }
+    }
+
+    /// Number of CPUs this profiler tracks.
+    #[must_use]
+    pub fn cpus(&self) -> usize {
+        self.cpus
+    }
+
+    fn slot(&mut self, cpu: CpuId, func: FuncId) -> &mut PerfCounters {
+        let row = &mut self.matrix[cpu.index()];
+        if row.len() <= func.index() {
+            row.resize(func.index() + 1, PerfCounters::default());
+        }
+        &mut row[func.index()]
+    }
+
+    /// Adds `delta` to the counters of `func` on `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn record(&mut self, cpu: CpuId, func: FuncId, delta: &PerfCounters) {
+        *self.slot(cpu, func) += *delta;
+    }
+
+    /// Counters for `func` on `cpu` (zero if never recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    #[must_use]
+    pub fn counters(&self, cpu: CpuId, func: FuncId) -> PerfCounters {
+        self.matrix[cpu.index()]
+            .get(func.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Counters for `func` summed over all CPUs.
+    #[must_use]
+    pub fn func_total(&self, func: FuncId) -> PerfCounters {
+        self.matrix
+            .iter()
+            .filter_map(|row| row.get(func.index()))
+            .copied()
+            .sum()
+    }
+
+    /// Counters summed over every function on `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    #[must_use]
+    pub fn cpu_total(&self, cpu: CpuId) -> PerfCounters {
+        self.matrix[cpu.index()].iter().copied().sum()
+    }
+
+    /// Counters summed over the whole machine.
+    #[must_use]
+    pub fn total(&self) -> PerfCounters {
+        self.matrix.iter().flatten().copied().sum()
+    }
+
+    /// Counters summed over every function in `group` (all CPUs).
+    #[must_use]
+    pub fn group_total(&self, registry: &FunctionRegistry, group: &str) -> PerfCounters {
+        registry
+            .functions_in(group)
+            .into_iter()
+            .map(|f| self.func_total(f))
+            .sum()
+    }
+
+    /// Counters summed over every function in `group` on one CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    #[must_use]
+    pub fn group_total_on(&self, registry: &FunctionRegistry, group: &str, cpu: CpuId) -> PerfCounters {
+        registry
+            .functions_in(group)
+            .into_iter()
+            .map(|f| self.counters(cpu, f))
+            .sum()
+    }
+
+    /// Functions with non-zero counters on `cpu`, as `(func, counters)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn nonzero_on(&self, cpu: CpuId) -> impl Iterator<Item = (FuncId, PerfCounters)> + '_ {
+        self.matrix[cpu.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(i, c)| (crate::registry::funcid_from_index(i), *c))
+    }
+
+    /// Zeroes every counter (discard warm-up).
+    pub fn reset(&mut self) {
+        for row in &mut self.matrix {
+            for c in row.iter_mut() {
+                *c = PerfCounters::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cpu::HwEvent;
+
+    fn delta(cycles: u64, llc: u64) -> PerfCounters {
+        let mut d = PerfCounters::default();
+        d.bump(HwEvent::Cycles, cycles);
+        d.bump(HwEvent::LlcMiss, llc);
+        d
+    }
+
+    #[test]
+    fn record_and_slice() {
+        let mut reg = FunctionRegistry::new();
+        let f0 = reg.register("tcp_sendmsg", "Engine");
+        let f1 = reg.register("alloc_skb", "Buf Mgmt");
+        let f2 = reg.register("tcp_v4_rcv", "Engine");
+        let mut p = Profiler::new(2);
+        let (c0, c1) = (CpuId::new(0), CpuId::new(1));
+        p.record(c0, f0, &delta(100, 1));
+        p.record(c0, f1, &delta(50, 0));
+        p.record(c1, f0, &delta(30, 2));
+        p.record(c1, f2, &delta(20, 0));
+
+        assert_eq!(p.counters(c0, f0).cycles, 100);
+        assert_eq!(p.counters(c1, f1).cycles, 0);
+        assert_eq!(p.func_total(f0).cycles, 130);
+        assert_eq!(p.cpu_total(c0).cycles, 150);
+        assert_eq!(p.total().cycles, 200);
+        assert_eq!(p.total().llc_misses, 3);
+        assert_eq!(p.group_total(&reg, "Engine").cycles, 150);
+        assert_eq!(p.group_total_on(&reg, "Engine", c1).cycles, 50);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut reg = FunctionRegistry::new();
+        let f = reg.register("f", "G");
+        let mut p = Profiler::new(1);
+        p.record(CpuId::new(0), f, &delta(10, 0));
+        p.record(CpuId::new(0), f, &delta(15, 1));
+        assert_eq!(p.counters(CpuId::new(0), f).cycles, 25);
+        assert_eq!(p.counters(CpuId::new(0), f).llc_misses, 1);
+    }
+
+    #[test]
+    fn unknown_function_reads_zero() {
+        let mut reg = FunctionRegistry::new();
+        let _ = reg.register("a", "G");
+        let late = {
+            let mut other = FunctionRegistry::new();
+            other.register("a", "G");
+            other.register("b", "G")
+        };
+        let p = Profiler::new(1);
+        assert!(p.counters(CpuId::new(0), late).is_empty());
+    }
+
+    #[test]
+    fn nonzero_on_skips_empty() {
+        let mut reg = FunctionRegistry::new();
+        let f0 = reg.register("a", "G");
+        let f1 = reg.register("b", "G");
+        let mut p = Profiler::new(1);
+        p.record(CpuId::new(0), f1, &delta(5, 0));
+        let v: Vec<_> = p.nonzero_on(CpuId::new(0)).collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, f1);
+        assert_ne!(v[0].0, f0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut reg = FunctionRegistry::new();
+        let f = reg.register("a", "G");
+        let mut p = Profiler::new(1);
+        p.record(CpuId::new(0), f, &delta(5, 0));
+        p.reset();
+        assert!(p.total().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cpu")]
+    fn zero_cpus_rejected() {
+        let _ = Profiler::new(0);
+    }
+}

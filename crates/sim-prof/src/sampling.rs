@@ -1,0 +1,251 @@
+//! Statistical event sampling — Oprofile's actual measurement process.
+//!
+//! The exact `(cpu × function)` matrix in [`crate::Profiler`] is ground
+//! truth the real tool never sees: Oprofile takes one sample every *N*
+//! occurrences of an event, and the sample lands a few instructions past
+//! the triggering one ("skid"), sometimes in the *next* function. This
+//! module simulates that process on top of the exact counts, so the
+//! reproduction can also quantify how far the measurement layer itself
+//! distorts the paper's tables (the paper discusses exactly this caveat
+//! for machine clears caused by interrupts).
+
+use serde::{Deserialize, Serialize};
+use sim_core::{CpuId, SimRng};
+use sim_cpu::HwEvent;
+
+use crate::profiler::Profiler;
+use crate::registry::{FuncId, FunctionRegistry};
+
+/// Configuration of the simulated sampling process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Events per sample (Oprofile's `--count`).
+    pub interval: u64,
+    /// Probability that a sample skids out of the function that incurred
+    /// the event into the *following* one (by registration order on the
+    /// same CPU — a stand-in for "whatever ran next").
+    pub skid_probability: f64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            interval: 1000,
+            skid_probability: 0.05,
+        }
+    }
+}
+
+/// One function's sampled profile on one CPU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampledRow {
+    /// The function.
+    pub func: FuncId,
+    /// Samples attributed to it.
+    pub samples: u64,
+}
+
+/// Draws a sampled per-function profile for `event` on `cpu` from the
+/// exact counts in `profiler`, simulating interval sampling with skid.
+///
+/// The expected number of samples for a function equals
+/// `count / interval`; the remainder is resolved by a Bernoulli draw so
+/// totals are unbiased, and each sample then skids with the configured
+/// probability. Deterministic given `rng`.
+#[must_use]
+pub fn sample_profile(
+    profiler: &Profiler,
+    registry: &FunctionRegistry,
+    cpu: CpuId,
+    event: HwEvent,
+    config: SamplingConfig,
+    rng: &mut SimRng,
+) -> Vec<SampledRow> {
+    assert!(config.interval > 0, "sampling interval must be positive");
+    let n = registry.len();
+    let mut samples = vec![0u64; n];
+    for (func, counters) in profiler.nonzero_on(cpu) {
+        let count = counters.get(event);
+        if count == 0 {
+            continue;
+        }
+        let whole = count / config.interval;
+        let fraction = (count % config.interval) as f64 / config.interval as f64;
+        let drawn = whole + u64::from(rng.chance(fraction));
+        for _ in 0..drawn {
+            let skid = rng.chance(config.skid_probability);
+            let idx = if skid {
+                (func.index() + 1) % n.max(1)
+            } else {
+                func.index()
+            };
+            if idx < n {
+                samples[idx] += 1;
+            }
+        }
+    }
+    registry
+        .iter()
+        .filter(|(id, _)| samples[id.index()] > 0)
+        .map(|(id, _)| SampledRow {
+            func: id,
+            samples: samples[id.index()],
+        })
+        .collect()
+}
+
+/// Total-variation distance between the sampled distribution and the
+/// exact count distribution for `event` on `cpu` — a measure of how much
+/// the measurement layer distorts attribution (0 = perfect).
+#[must_use]
+pub fn sampling_distortion(
+    profiler: &Profiler,
+    registry: &FunctionRegistry,
+    cpu: CpuId,
+    event: HwEvent,
+    rows: &[SampledRow],
+) -> f64 {
+    let exact_total = profiler.cpu_total(cpu).get(event);
+    let sample_total: u64 = rows.iter().map(|r| r.samples).sum();
+    if exact_total == 0 || sample_total == 0 {
+        return 0.0;
+    }
+    let mut tv = 0.0;
+    for (id, _) in registry.iter() {
+        let exact = profiler.counters(cpu, id).get(event) as f64 / exact_total as f64;
+        let sampled = rows
+            .iter()
+            .find(|r| r.func == id)
+            .map_or(0.0, |r| r.samples as f64 / sample_total as f64);
+        tv += (exact - sampled).abs();
+    }
+    tv / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cpu::PerfCounters;
+
+    fn setup() -> (FunctionRegistry, Profiler) {
+        let mut reg = FunctionRegistry::new();
+        let a = reg.register("hot", "Engine");
+        let b = reg.register("warm", "Copies");
+        let _c = reg.register("cold", "Timers");
+        let mut prof = Profiler::new(1);
+        let mut d = PerfCounters::default();
+        d.bump(HwEvent::Cycles, 100_000);
+        prof.record(CpuId::new(0), a, &d);
+        let mut d = PerfCounters::default();
+        d.bump(HwEvent::Cycles, 10_000);
+        prof.record(CpuId::new(0), b, &d);
+        (reg, prof)
+    }
+
+    #[test]
+    fn expected_sample_counts() {
+        let (reg, prof) = setup();
+        let mut rng = SimRng::new(5);
+        let rows = sample_profile(
+            &prof,
+            &reg,
+            CpuId::new(0),
+            HwEvent::Cycles,
+            SamplingConfig {
+                interval: 1000,
+                skid_probability: 0.0,
+            },
+            &mut rng,
+        );
+        let hot = rows.iter().find(|r| reg.name(r.func) == "hot").unwrap();
+        assert_eq!(hot.samples, 100);
+        let warm = rows.iter().find(|r| reg.name(r.func) == "warm").unwrap();
+        assert_eq!(warm.samples, 10);
+        assert!(rows.iter().all(|r| reg.name(r.func) != "cold"));
+    }
+
+    #[test]
+    fn skid_moves_some_samples() {
+        let (reg, prof) = setup();
+        let mut rng = SimRng::new(5);
+        let rows = sample_profile(
+            &prof,
+            &reg,
+            CpuId::new(0),
+            HwEvent::Cycles,
+            SamplingConfig {
+                interval: 100,
+                skid_probability: 0.5,
+            },
+            &mut rng,
+        );
+        // "warm" follows "hot" in registration order: it should receive
+        // skidded samples well beyond its own 100.
+        let warm = rows.iter().find(|r| reg.name(r.func) == "warm").unwrap();
+        assert!(warm.samples > 200, "warm got {}", warm.samples);
+    }
+
+    #[test]
+    fn distortion_zero_without_skid_and_high_interval_noise() {
+        let (reg, prof) = setup();
+        let mut rng = SimRng::new(7);
+        let precise = sample_profile(
+            &prof,
+            &reg,
+            CpuId::new(0),
+            HwEvent::Cycles,
+            SamplingConfig {
+                interval: 10,
+                skid_probability: 0.0,
+            },
+            &mut rng,
+        );
+        let d0 = sampling_distortion(&prof, &reg, CpuId::new(0), HwEvent::Cycles, &precise);
+        assert!(d0 < 0.01, "precise sampling distortion {d0}");
+
+        let skiddy = sample_profile(
+            &prof,
+            &reg,
+            CpuId::new(0),
+            HwEvent::Cycles,
+            SamplingConfig {
+                interval: 10,
+                skid_probability: 0.5,
+            },
+            &mut rng,
+        );
+        let d1 = sampling_distortion(&prof, &reg, CpuId::new(0), HwEvent::Cycles, &skiddy);
+        assert!(d1 > d0, "skid must distort: {d1} vs {d0}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (reg, prof) = setup();
+        let config = SamplingConfig::default();
+        let mut r1 = SimRng::new(11);
+        let mut r2 = SimRng::new(11);
+        let a = sample_profile(&prof, &reg, CpuId::new(0), HwEvent::Cycles, config, &mut r1);
+        let b = sample_profile(&prof, &reg, CpuId::new(0), HwEvent::Cycles, config, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_profile_yields_no_samples() {
+        let reg = FunctionRegistry::new();
+        let prof = Profiler::new(1);
+        let mut rng = SimRng::new(1);
+        let rows = sample_profile(
+            &prof,
+            &reg,
+            CpuId::new(0),
+            HwEvent::Cycles,
+            SamplingConfig::default(),
+            &mut rng,
+        );
+        assert!(rows.is_empty());
+        assert_eq!(
+            sampling_distortion(&prof, &reg, CpuId::new(0), HwEvent::Cycles, &rows),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-connection state and memory regions.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use sim_core::ConnectionId;
+use sim_mem::{MemorySystem, RegionId};
+
+use crate::config::StackConfig;
+use crate::congestion::CongestionState;
+
+/// The memory regions belonging to one connection — the cacheable state
+/// whose locality affinity protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionRegions {
+    /// TCP control block (tcp_opt, inet sock, hash chain).
+    pub tcp_ctx: RegionId,
+    /// Generic socket structure (wait queues, callbacks, accounting).
+    pub sock: RegionId,
+    /// skb metadata pool (headers, shinfo).
+    pub skb_meta: RegionId,
+    /// Kernel payload area for the send queue (skb data).
+    pub skb_data: RegionId,
+    /// The application's transmit buffer (ttcp reuses one buffer, so it
+    /// stays cached — the paper's TX setup).
+    pub tx_app_buf: RegionId,
+    /// The application's receive buffer.
+    pub rx_app_buf: RegionId,
+    /// The NIC RX buffer region packets are DMA'd into (copy source on
+    /// RX — always uncached).
+    pub rx_dma_buf: RegionId,
+}
+
+/// Mutable protocol state for one connection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ConnState {
+    pub id: ConnectionId,
+    pub regions: ConnectionRegions,
+    /// Frames sitting in the socket receive queue (payload bytes each),
+    /// with the DMA-buffer offset they point at.
+    pub rx_queue: VecDeque<(u32, u64)>,
+    /// Total bytes in the receive queue.
+    pub rx_queue_bytes: u64,
+    /// Data segments received since the last ACK we sent.
+    pub frames_since_ack: u32,
+    /// TX segments in flight (sent, not yet completed/acked).
+    pub tx_inflight: u32,
+    /// TX segments sent but not yet cumulatively ACKed by the peer —
+    /// what the congestion window binds on.
+    pub tx_unacked: u32,
+    /// Rolling offset into the skb data area (send queue recycling).
+    pub skb_data_cursor: u64,
+    /// Rolling skb-metadata allocation cursor (advances 256 B per skb).
+    pub meta_alloc_cursor: u64,
+    /// Rolling skb-metadata free cursor — trails the allocation cursor,
+    /// so frees touch the same slots allocations wrote (the cross-CPU
+    /// transfer when allocation and free happen on different CPUs).
+    pub meta_free_cursor: u64,
+    /// Rolling offset into the RX DMA buffer area.
+    pub rx_dma_cursor: u64,
+    /// Bytes the application has consumed on RX.
+    pub rx_bytes_delivered: u64,
+    /// Bytes the application has submitted on TX.
+    pub tx_bytes_submitted: u64,
+    /// Reno congestion control for the send side.
+    pub congestion: CongestionState,
+    /// Whether the connection has completed the handshake. Connections
+    /// start established (the paper's ttcp setup connects once before
+    /// measurement) but still slow-start from the initial window during
+    /// warm-up.
+    pub established: bool,
+}
+
+impl ConnState {
+    pub(crate) fn new(
+        id: ConnectionId,
+        mem: &mut MemorySystem,
+        config: &StackConfig,
+        rx_dma_buf: RegionId,
+        max_message: u64,
+    ) -> Self {
+        let prefix = format!("conn{}", id.index());
+        let regions = ConnectionRegions {
+            tcp_ctx: mem.add_region(format!("{prefix}.tcp_ctx"), config.tcp_ctx_bytes),
+            sock: mem.add_region(format!("{prefix}.sock"), config.sock_bytes),
+            skb_meta: mem.add_region(format!("{prefix}.skb_meta"), config.skb_meta_bytes),
+            skb_data: mem.add_region(format!("{prefix}.skb_data"), config.skb_data_bytes),
+            tx_app_buf: mem.add_region(format!("{prefix}.tx_app_buf"), max_message.max(4096)),
+            rx_app_buf: mem.add_region(format!("{prefix}.rx_app_buf"), max_message.max(4096)),
+            rx_dma_buf,
+        };
+        ConnState {
+            id,
+            regions,
+            rx_queue: VecDeque::new(),
+            rx_queue_bytes: 0,
+            frames_since_ack: 0,
+            tx_inflight: 0,
+            tx_unacked: 0,
+            skb_data_cursor: 0,
+            meta_alloc_cursor: 0,
+            meta_free_cursor: 0,
+            rx_dma_cursor: 0,
+            rx_bytes_delivered: 0,
+            tx_bytes_submitted: 0,
+            congestion: CongestionState::new(config.initial_cwnd, config.max_cwnd),
+            established: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::MemoryConfig;
+
+    #[test]
+    fn regions_are_allocated_distinct() {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let dma = mem.add_region("nic0.rx_buffers", 64 * 1024);
+        let c = ConnState::new(
+            ConnectionId::new(3),
+            &mut mem,
+            &StackConfig::paper(),
+            dma,
+            65536,
+        );
+        let r = c.regions;
+        let all = [
+            r.tcp_ctx,
+            r.sock,
+            r.skb_meta,
+            r.skb_data,
+            r.tx_app_buf,
+            r.rx_app_buf,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(r.rx_dma_buf, dma);
+        assert_eq!(mem.regions().get(r.tcp_ctx).name(), "conn3.tcp_ctx");
+    }
+
+    #[test]
+    fn fresh_state_is_empty() {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let dma = mem.add_region("d", 1024);
+        let c = ConnState::new(ConnectionId::new(0), &mut mem, &StackConfig::paper(), dma, 128);
+        assert!(c.rx_queue.is_empty());
+        assert_eq!(c.rx_queue_bytes, 0);
+        assert_eq!(c.tx_inflight, 0);
+    }
+}

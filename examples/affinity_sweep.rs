@@ -1,0 +1,49 @@
+//! Figure 3/4-style sweep: bandwidth, utilization and GHz/Gbps cost over
+//! transaction sizes for every affinity mode.
+//!
+//! ```bash
+//! cargo run --release --example affinity_sweep            # a short sweep
+//! cargo run --release --example affinity_sweep -- full    # all 7 paper sizes
+//! ```
+
+use affinity_repro::{run_experiment, AffinityMode, Direction, ExperimentConfig, PAPER_SIZES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full_sweep = std::env::args().any(|a| a == "full");
+    let sizes: Vec<u64> = if full_sweep {
+        PAPER_SIZES.to_vec()
+    } else {
+        vec![128, 4096, 65536]
+    };
+
+    for direction in [Direction::Tx, Direction::Rx] {
+        println!("== {direction} ==");
+        println!(
+            "{:>8} | {:>22} | {:>22} | {:>22} | {:>22}",
+            "size",
+            "No Aff (Mb/s, cost)",
+            "Proc Aff",
+            "IRQ Aff",
+            "Full Aff"
+        );
+        for &size in &sizes {
+            print!("{size:>8}");
+            for mode in AffinityMode::ALL {
+                let mut config = ExperimentConfig::paper_sut(direction, size, mode);
+                config.workload.measure_messages =
+                    (512 * 1024 / size).clamp(12, 400) as u32;
+                config.workload.warmup_messages = (config.workload.measure_messages / 3).max(4);
+                let m = run_experiment(&config)?.metrics;
+                print!(
+                    " | {:>8.0} Mb {:>6.2} c/b",
+                    m.throughput_mbps(),
+                    m.cost_ghz_per_gbps()
+                );
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("(cost = GHz consumed per Gbps delivered; the paper's Figure 4 metric)");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run one experiment per affinity mode and print the
+//! headline numbers — the paper's core result in thirty lines.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use affinity_repro::{run_experiment, AffinityMode, Direction, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("ttcp bulk transmit, 64 KB messages, 8 connections, 2 CPUs\n");
+    println!(
+        "{:>10} | {:>10} | {:>12} | {:>14} | {:>14}",
+        "mode", "BW (Mb/s)", "GHz/Gbps", "LLC miss/msg", "clears/msg"
+    );
+
+    let mut baseline = None;
+    for mode in AffinityMode::ALL {
+        let mut config = ExperimentConfig::paper_sut(Direction::Tx, 65536, mode);
+        config.workload.warmup_messages = 8;
+        config.workload.measure_messages = 16;
+        let result = run_experiment(&config)?;
+        let m = &result.metrics;
+        let bw = m.throughput_mbps();
+        if mode == AffinityMode::None {
+            baseline = Some(bw);
+        }
+        println!(
+            "{:>10} | {:>10.0} | {:>12.2} | {:>14.0} | {:>14.0}",
+            mode.label(),
+            bw,
+            m.cost_ghz_per_gbps(),
+            m.total.llc_misses as f64 / m.messages as f64,
+            m.total.machine_clears as f64 / m.messages as f64,
+        );
+    }
+
+    if let Some(base) = baseline {
+        let mut config = ExperimentConfig::paper_sut(Direction::Tx, 65536, AffinityMode::Full);
+        config.workload.warmup_messages = 8;
+        config.workload.measure_messages = 16;
+        let full = run_experiment(&config)?;
+        println!(
+            "\nfull affinity gained {:+.0}% throughput over no affinity \
+             (the paper reports up to +29%)",
+            100.0 * (full.metrics.throughput_mbps() / base - 1.0)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! End-to-end analysis pipeline: real runs through the Amdahl
+//! decomposition, impact indicators, Spearman correlation and every
+//! table/figure renderer.
+
+use affinity_repro::analysis::{
+    bin_improvements, impact_indicators, overall_improvement, spearman,
+};
+use affinity_repro::{
+    report, run_experiment, AffinityMode, Direction, ExperimentConfig, RunResult,
+};
+use sim_cpu::{EventCosts, HwEvent};
+use sim_tcp::Bin;
+
+fn pair(direction: Direction, size: u64) -> (RunResult, RunResult) {
+    let mut make = |mode| {
+        let mut c = ExperimentConfig::paper_sut(direction, size, mode);
+        c.workload.warmup_messages = 6;
+        c.workload.measure_messages = 14;
+        run_experiment(&c).unwrap()
+    };
+    (make(AffinityMode::None), make(AffinityMode::Full))
+}
+
+#[test]
+fn amdahl_decomposition_is_consistent_on_real_runs() {
+    let (no, full) = pair(Direction::Tx, 16384);
+    let rows = bin_improvements(&no.metrics, &full.metrics);
+    assert_eq!(rows.len(), 7);
+    // The per-bin contributions must sum to the direct overall number.
+    let overall = overall_improvement(&rows, HwEvent::Cycles);
+    let no_per_byte = no.metrics.total.cycles as f64 / no.metrics.bytes_moved as f64;
+    let full_per_byte = full.metrics.total.cycles as f64 / full.metrics.bytes_moved as f64;
+    let direct = 1.0 - full_per_byte / no_per_byte;
+    assert!(
+        (overall - direct).abs() < 1e-6,
+        "decomposed {overall:.4} vs direct {direct:.4}"
+    );
+    // Baseline shares sum to 1.
+    let share_sum: f64 = rows.iter().map(|r| r.pct_time_base).sum();
+    assert!((share_sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn impact_indicators_rank_clears_and_llc_first() {
+    // Figure 5's finding: machine clears and LLC misses are the two
+    // dominant indicator events.
+    let (no, _) = pair(Direction::Rx, 65536);
+    let rows = impact_indicators(&no.metrics.total, &EventCosts::paper());
+    let mut ranked: Vec<_> = rows
+        .iter()
+        .filter(|r| r.event != HwEvent::Instructions)
+        .collect();
+    ranked.sort_by(|a, b| b.share.partial_cmp(&a.share).unwrap());
+    let top2: Vec<HwEvent> = ranked[..2].iter().map(|r| r.event).collect();
+    assert!(top2.contains(&HwEvent::MachineClear), "top2 {top2:?}");
+    assert!(top2.contains(&HwEvent::LlcMiss), "top2 {top2:?}");
+}
+
+#[test]
+fn spearman_on_real_improvements_is_in_range_and_mostly_positive() {
+    let (no, full) = pair(Direction::Tx, 65536);
+    let rows = bin_improvements(&no.metrics, &full.metrics);
+    let cycles: Vec<f64> = rows.iter().map(|r| r.cycles_improvement).collect();
+    let clears: Vec<f64> = rows.iter().map(|r| r.clears_improvement).collect();
+    let rho = spearman(&cycles, &clears);
+    assert!((-1.0..=1.0).contains(&rho));
+    assert!(
+        rho > 0.0,
+        "cycle and clear improvements should correlate positively, got {rho:.2}"
+    );
+}
+
+#[test]
+fn every_renderer_produces_its_artifact() {
+    let (no, full) = pair(Direction::Tx, 4096);
+    let rows = vec![(
+        4096u64,
+        vec![
+            (AffinityMode::None, no.metrics.clone()),
+            (AffinityMode::Full, full.metrics.clone()),
+        ],
+    )];
+
+    let fig3 = report::render_figure3("TX", &rows);
+    assert!(fig3.contains("Bandwidth"));
+    let fig4 = report::render_figure4("TX", &rows);
+    assert!(fig4.contains("GHz/Gbps"));
+    let t1 = report::render_table1_panel("TX 4KB", &no.metrics, &full.metrics);
+    for bin in Bin::ALL {
+        assert!(t1.contains(bin.label()));
+    }
+    let t2 = report::render_table2(&no.metrics, &full.metrics);
+    assert!(t2.contains("contended"));
+    let f5 = report::render_figure5_panel("TX 4KB", &no.metrics, &EventCosts::paper());
+    assert!(f5.contains("Machine clear") && f5.contains("%time"));
+    let t3 = report::render_table3_panel("TX 4KB", &no.metrics, &full.metrics);
+    assert!(t3.contains("d-clears"));
+    let t4 = report::render_table4("TX 4KB", &no, 5);
+    assert!(t4.contains("CPU 0") && t4.contains("CPU 1"));
+    let t5 = report::render_table5(&[("TX 4KB".into(), no.metrics.clone(), full.metrics.clone())]);
+    assert!(t5.contains("critical value"));
+}
+
+#[test]
+fn table4_top_clear_functions_are_plausible_symbols() {
+    // Under no affinity the top machine-clear symbols should be TCP
+    // engine functions and IRQ handlers — the paper's Table 4 cast.
+    let mut c = ExperimentConfig::paper_sut(Direction::Tx, 128, AffinityMode::None);
+    c.workload.warmup_messages = 30;
+    c.workload.measure_messages = 120;
+    let run = run_experiment(&c).unwrap();
+    let rendered = report::render_table4("TX 128B no affinity", &run, 10);
+    let has_irq = rendered.contains("IRQ0x");
+    let has_engine = rendered.contains("tcp_");
+    assert!(
+        has_irq && has_engine,
+        "expected IRQ handlers and tcp_* functions among top clear symbols:\n{rendered}"
+    );
+}

@@ -1,0 +1,73 @@
+//! Whole-machine determinism and seed-sensitivity guarantees.
+
+use affinity_repro::{run_experiment, AffinityMode, Direction, ExperimentConfig};
+
+#[test]
+fn identical_configs_give_identical_results() {
+    let config = ExperimentConfig::paper_sut(Direction::Rx, 4096, AffinityMode::Irq).quick();
+    let a = run_experiment(&config).unwrap();
+    let b = run_experiment(&config).unwrap();
+    assert_eq!(a.metrics, b.metrics);
+    // The full profile matrix matches too, function by function, CPU by CPU.
+    for (id, _) in a.registry.iter() {
+        for c in 0..config.cpus {
+            let cpu = sim_core::CpuId::new(c as u32);
+            assert_eq!(
+                a.profiler.counters(cpu, id),
+                b.profiler.counters(cpu, id),
+                "profile mismatch for {} on cpu{c}",
+                a.registry.name(id)
+            );
+        }
+    }
+}
+
+#[test]
+fn seed_changes_timing_but_not_accounting_identities() {
+    let base = ExperimentConfig::paper_sut(Direction::Tx, 4096, AffinityMode::None).quick();
+    for seed in [1, 2, 3] {
+        let r = run_experiment(&base.clone().with_seed(seed)).unwrap();
+        let m = &r.metrics;
+        // Identities that must hold for any seed:
+        assert_eq!(m.messages, u64::from(base.workload.measure_messages) * 8);
+        assert_eq!(m.bytes_moved, m.messages * base.workload.message_bytes);
+        // Profiler totals and bin totals agree.
+        let bin_sum: u64 = sim_tcp::Bin::ALL.iter().map(|&b| m.bin(b).cycles).sum();
+        assert_eq!(bin_sum, m.total.cycles, "bins must partition all cycles");
+        // Busy cycles can't exceed per-CPU wall time by more than slack
+        // (events processed after the last measured message).
+        for c in 0..base.cpus {
+            assert!(m.busy_cycles[c] > 0, "cpu{c} did no work?");
+        }
+    }
+}
+
+#[test]
+fn modes_actually_differ() {
+    let make = |mode| {
+        let mut c = ExperimentConfig::paper_sut(Direction::Rx, 16384, mode);
+        c.workload.warmup_messages = 4;
+        c.workload.measure_messages = 10;
+        run_experiment(&c).unwrap().metrics
+    };
+    let no = make(AffinityMode::None);
+    let full = make(AffinityMode::Full);
+    assert_ne!(no.wall_cycles, full.wall_cycles, "modes should not be identical");
+    assert_ne!(no.total.machine_clears, full.total.machine_clears);
+}
+
+#[test]
+fn four_p_and_two_p_both_deterministic() {
+    for cpus in [2usize, 4] {
+        let mut config = if cpus == 2 {
+            ExperimentConfig::paper_sut(Direction::Tx, 1024, AffinityMode::Full)
+        } else {
+            ExperimentConfig::four_processor(Direction::Tx, 1024, AffinityMode::Full)
+        }
+        .quick();
+        config.seed = 77;
+        let a = run_experiment(&config).unwrap().metrics;
+        let b = run_experiment(&config).unwrap().metrics;
+        assert_eq!(a, b, "{cpus}P run not deterministic");
+    }
+}
