@@ -116,8 +116,7 @@ mod tests {
             .into_iter()
             .map(|bin| {
                 let mut counters = PerfCounters::default();
-                if let Some(&(_, cy, llc, clears)) =
-                    cycles_per_bin.iter().find(|(b, ..)| *b == bin)
+                if let Some(&(_, cy, llc, clears)) = cycles_per_bin.iter().find(|(b, ..)| *b == bin)
                 {
                     counters.cycles = cy;
                     counters.llc_misses = llc;
@@ -150,12 +149,18 @@ mod tests {
         // Baseline: Engine 600, Copies 400 cycles per byte-unit.
         let base = metrics_with(
             1000,
-            &[(Bin::Engine, 600_000, 600, 60), (Bin::Copies, 400_000, 400, 40)],
+            &[
+                (Bin::Engine, 600_000, 600, 60),
+                (Bin::Copies, 400_000, 400, 40),
+            ],
         );
         // Improved: Engine halves, Copies unchanged (same work).
         let improved = metrics_with(
             1000,
-            &[(Bin::Engine, 300_000, 300, 30), (Bin::Copies, 400_000, 400, 40)],
+            &[
+                (Bin::Engine, 300_000, 300, 30),
+                (Bin::Copies, 400_000, 400, 40),
+            ],
         );
         let rows = bin_improvements(&base, &improved);
         let overall = overall_improvement(&rows, HwEvent::Cycles);
@@ -184,7 +189,10 @@ mod tests {
         let improved = metrics_with(1000, &[(Bin::Timers, 150_000, 15, 2)]);
         let rows = bin_improvements(&base, &improved);
         let timers = rows.iter().find(|r| r.bin == Bin::Timers).unwrap();
-        assert!(timers.cycles_improvement < 0.0, "regression must be negative");
+        assert!(
+            timers.cycles_improvement < 0.0,
+            "regression must be negative"
+        );
     }
 
     #[test]

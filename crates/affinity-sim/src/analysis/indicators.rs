@@ -111,7 +111,12 @@ mod tests {
             .sum();
         let rest: f64 = rows
             .iter()
-            .filter(|r| !matches!(r.event, HwEvent::MachineClear | HwEvent::LlcMiss | HwEvent::Instructions))
+            .filter(|r| {
+                !matches!(
+                    r.event,
+                    HwEvent::MachineClear | HwEvent::LlcMiss | HwEvent::Instructions
+                )
+            })
             .map(|r| r.share)
             .sum();
         assert!(dominant > rest * 10.0);

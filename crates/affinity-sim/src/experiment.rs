@@ -85,8 +85,8 @@ impl Default for Tunables {
             send_buf_segments: 64,
             peer_window: 32,
             rcv_buf_bytes: 64 * 1024,
-            rtt_cycles: 100_000,       // 50 µs at 2 GHz
-            wire_cycles_per_byte: 16,  // 1 Gbps
+            rtt_cycles: 100_000,      // 50 µs at 2 GHz
+            wire_cycles_per_byte: 16, // 1 Gbps
             coalesce_flush_cycles: 24_000,
             irq_latency_cycles: 2_000,
             timeslice_cycles: 6_000_000,

@@ -16,7 +16,9 @@
 //! to a cycle-weighted draw over the code recently executing on that
 //! CPU.
 
-use sim_core::{ConnectionId, CpuId, DeviceId, EventQueue, IrqVector, Result, SimRng, SimTime, TaskId};
+use sim_core::{
+    ConnectionId, CpuId, DeviceId, EventQueue, IrqVector, Result, SimRng, SimTime, TaskId,
+};
 use sim_cpu::{ClearReason, Core, PerfCounters};
 use sim_mem::MemorySystem;
 use sim_net::{Nic, Peer, PeerConfig};
@@ -139,14 +141,7 @@ impl Machine {
             .collect();
 
         let nics: Vec<Nic> = (0..nics_n)
-            .map(|i| {
-                Nic::new(
-                    DeviceId::new(i as u32),
-                    vectors[i],
-                    config.nic,
-                    &mut mem,
-                )
-            })
+            .map(|i| Nic::new(DeviceId::new(i as u32), vectors[i], config.nic, &mut mem))
             .collect();
 
         let dma_regions: Vec<_> = nics.iter().map(Nic::rx_buffers).collect();
@@ -219,7 +214,12 @@ impl Machine {
             peers,
             prof: Profiler::new(cpus),
             rng,
-            events: EventQueue::new(),
+            // Steady state carries a few in-flight events per NIC (wire
+            // segments, ACKs, coalescing timers); pre-size so the heap
+            // never reallocates mid-run.
+            events: EventQueue::with_capacity(
+                64 * nics_n + config.tunables.peer_window as usize * nics_n,
+            ),
             tasks,
             task_of_conn,
             last_task_on: vec![None; cpus],
@@ -251,6 +251,12 @@ impl Machine {
         })
     }
 
+    /// Schedules `event` at cycle `at`, clamped forward to the queue's
+    /// causality watermark (see `sim_core::event`): CPU-local clocks can
+    /// trail device time, so a wire/timer computation may produce a
+    /// timestamp the queue has already passed. Every event the machine
+    /// schedules goes through here, so the watermark panic in
+    /// `EventQueue::push` is unreachable from the run loop.
     fn push_event(&mut self, at: u64, event: Event) {
         let at = at.max(self.events.now().cycles());
         self.events.push(SimTime::from_cycles(at), event);
@@ -281,13 +287,16 @@ impl Machine {
         self.seed_initial_work();
         let mut guard: u64 = 0;
         let guard_limit = self.guard_limit();
+        // Probing the environment takes a lock and scans `environ`; do it
+        // once, not once per event.
+        let trace = std::env::var_os("AFFSIM_TRACE").is_some();
         while !self.done {
             guard += 1;
             assert!(
                 guard < guard_limit,
                 "run loop exceeded {guard_limit} iterations — machine wedged?"
             );
-            if std::env::var_os("AFFSIM_TRACE").is_some() && (guard & (guard - 1) == 0 || guard % 200_000 == 0) {
+            if trace && (guard & (guard - 1) == 0 || guard.is_multiple_of(200_000)) {
                 eprintln!(
                     "iter={guard} msgs={}/{} measuring={} clocks={:?} events={} loads={:?}",
                     self.total_messages,
@@ -344,7 +353,10 @@ impl Machine {
         // had no periodic balancer (idle stealing and wake placement did
         // all the work); the event exists for the ablation benches.
         if self.config.tunables.balance_interval_cycles > 0 {
-            self.push_event(self.config.tunables.balance_interval_cycles, Event::LoadBalance);
+            self.push_event(
+                self.config.tunables.balance_interval_cycles,
+                Event::LoadBalance,
+            );
         }
         if self.config.tunables.irq_rotation_cycles > 0 {
             self.push_event(self.config.tunables.irq_rotation_cycles, Event::IrqRotate);
@@ -499,7 +511,8 @@ impl Machine {
             let segs = self.stack.sendmsg(&mut ctx, conn_id, chunk_bytes, cross);
             let tx_ring = self.nics[conn].tx_ring();
             for (i, &seg) in segs.iter().enumerate() {
-                self.stack.driver_tx(&mut ctx, conn_id, tx_ring, i as u64, seg);
+                self.stack
+                    .driver_tx(&mut ctx, conn_id, tx_ring, i as u64, seg);
             }
             segs
         };
@@ -514,7 +527,13 @@ impl Machine {
         let mut cursor = self.wire_cursor[conn].max(now);
         for &seg in &segs {
             cursor += self.wire_time(seg);
-            self.push_event(cursor, Event::WireTx { nic: conn, bytes: seg });
+            self.push_event(
+                cursor,
+                Event::WireTx {
+                    nic: conn,
+                    bytes: seg,
+                },
+            );
         }
         self.wire_cursor[conn] = cursor;
 
@@ -668,7 +687,8 @@ impl Machine {
                         prof: &mut self.prof,
                         rng: &mut self.rng,
                     };
-                    self.stack.retransmit_timeout(&mut ctx, conn_id, bytes, cross);
+                    self.stack
+                        .retransmit_timeout(&mut ctx, conn_id, bytes, cross);
                 }
                 let delta = self.cores[c].busy_cycles() - before;
                 self.clocks[c] += delta;
@@ -691,9 +711,9 @@ impl Machine {
                 // 2.6 scheme). The TPR update is an uncacheable write;
                 // charge a small fixed cost to each CPU.
                 let cpus = self.config.cpus as u32;
-                for (i, &v) in self.vectors.clone().iter().enumerate() {
+                for &v in &self.vectors.clone() {
                     let current = self.apic.route(v);
-                    let next = CpuId::new((current.raw() + 1 + (i as u32 % 1)) % cpus);
+                    let next = CpuId::new((current.raw() + 1) % cpus);
                     self.apic
                         .set_affinity(v, sim_os::CpuMask::single(next))
                         .expect("rotation target exists");
@@ -743,7 +763,8 @@ impl Machine {
             };
             self.stack.irq_top_half(&mut ctx, vector);
         }
-        self.clocks[c] += self.cores[c].busy_cycles() - irq_start
+        self.clocks[c] += self.cores[c].busy_cycles()
+            - irq_start
             - self.config.tunables.clears_per_device_interrupt as u64
                 * self.config.cpu.costs.machine_clear;
 
@@ -772,9 +793,11 @@ impl Machine {
                 .or(handler)
                 .unwrap_or(self.wake_up_func)
         };
-        let mut delta = PerfCounters::default();
-        delta.machine_clears = 1;
-        delta.cycles = penalty;
+        let delta = PerfCounters {
+            machine_clears: 1,
+            cycles: penalty,
+            ..PerfCounters::default()
+        };
         self.prof.record(CpuId::new(c as u32), func, &delta);
     }
 
@@ -783,7 +806,7 @@ impl Machine {
     /// flush lands in whatever code was in flight.
     fn weighted_func_draw(&mut self, c: usize) -> Option<FuncId> {
         let cpu = CpuId::new(c as u32);
-        let total = self.prof.cpu_total(cpu).cycles;
+        let total = self.prof.cpu_cycles(cpu);
         if total == 0 {
             return None;
         }
@@ -825,7 +848,9 @@ impl Machine {
             }
             if !frames.is_empty() {
                 let rx_ring = self.nics[nic].rx_ring();
-                let outcome = self.stack.rx_bottom_half(&mut ctx, conn_id, &frames, rx_ring, cross);
+                let outcome = self
+                    .stack
+                    .rx_bottom_half(&mut ctx, conn_id, &frames, rx_ring, cross);
                 wake_consumer = outcome.wake_consumer;
             }
         }
@@ -943,7 +968,10 @@ impl Machine {
     }
 
     fn collect_metrics(&self) -> RunMetrics {
-        let wall = self.last_message_time.saturating_sub(self.measure_start).max(1);
+        let wall = self
+            .last_message_time
+            .saturating_sub(self.measure_start)
+            .max(1);
         let bins = Bin::ALL
             .into_iter()
             .map(|bin| BinBreakdown {

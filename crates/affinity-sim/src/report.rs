@@ -23,12 +23,12 @@ fn pct(x: f64) -> String {
 /// Figure 3: bandwidth and CPU utilization vs transaction size, one row
 /// per size, one column pair per affinity mode.
 #[must_use]
-pub fn render_figure3(
-    direction: &str,
-    rows: &[(u64, Vec<(AffinityMode, RunMetrics)>)],
-) -> String {
+pub fn render_figure3(direction: &str, rows: &[(u64, Vec<(AffinityMode, RunMetrics)>)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 3 ({direction}): Bandwidth (Mb/s) and CPU Utilization");
+    let _ = writeln!(
+        out,
+        "Figure 3 ({direction}): Bandwidth (Mb/s) and CPU Utilization"
+    );
     let _ = write!(out, "{:>8}", "size");
     if let Some((_, mode_cols)) = rows.first() {
         for (mode, _) in mode_cols {
@@ -53,10 +53,7 @@ pub fn render_figure3(
 
 /// Figure 4: processing cost in GHz/Gbps vs transaction size.
 #[must_use]
-pub fn render_figure4(
-    direction: &str,
-    rows: &[(u64, Vec<(AffinityMode, RunMetrics)>)],
-) -> String {
+pub fn render_figure4(direction: &str, rows: &[(u64, Vec<(AffinityMode, RunMetrics)>)]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 4 ({direction}): Cost in GHz/Gbps");
     let _ = write!(out, "{:>8}", "size");
@@ -85,8 +82,17 @@ pub fn render_table1_panel(panel: &str, no_aff: &RunMetrics, full_aff: &RunMetri
     let _ = writeln!(
         out,
         "{:>10} | {:>8} {:>8} | {:>7} {:>7} | {:>8} {:>8} | {:>7} {:>7} | {:>7} {:>7}",
-        "bin", "%cy(no)", "%cy(fu)", "CPI(no)", "CPI(fu)", "MPI(no)", "MPI(fu)", "%br(no)",
-        "%br(fu)", "%mis(no)", "%mis(fu)"
+        "bin",
+        "%cy(no)",
+        "%cy(fu)",
+        "CPI(no)",
+        "CPI(fu)",
+        "MPI(no)",
+        "MPI(fu)",
+        "%br(no)",
+        "%br(fu)",
+        "%mis(no)",
+        "%mis(fu)"
     );
     for bin in Bin::ALL {
         let n = no_aff.bin(bin);
@@ -140,7 +146,11 @@ pub fn render_table2(no_aff: &RunMetrics, full_aff: &RunMetrics) -> String {
     let n = no_aff.bin(Bin::Locks);
     let f = full_aff.bin(Bin::Locks);
     let rows: [(&str, u64, u64); 4] = [
-        ("acquisitions", no_aff.lock_acquisitions, full_aff.lock_acquisitions),
+        (
+            "acquisitions",
+            no_aff.lock_acquisitions,
+            full_aff.lock_acquisitions,
+        ),
         ("contended", no_aff.lock_contended, full_aff.lock_contended),
         ("instructions", n.instructions, f.instructions),
         ("branches", n.branches, f.branches),
@@ -163,7 +173,11 @@ pub fn render_table2(no_aff: &RunMetrics, full_aff: &RunMetrics) -> String {
 pub fn render_figure5_panel(panel: &str, metrics: &RunMetrics, costs: &EventCosts) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 5 — {panel}");
-    let _ = writeln!(out, "{:>16} | {:>5} | {:>12} | {:>7}", "event", "cost", "count", "%time");
+    let _ = writeln!(
+        out,
+        "{:>16} | {:>5} | {:>12} | {:>7}",
+        "event", "cost", "count", "%time"
+    );
     for row in impact_indicators(&metrics.total, costs) {
         let cost = if row.event == HwEvent::Instructions {
             "0.33".to_string()
@@ -188,7 +202,10 @@ pub fn render_figure5_panel(panel: &str, metrics: &RunMetrics, costs: &EventCost
 pub fn render_table3_panel(panel: &str, base: &RunMetrics, full: &RunMetrics) -> String {
     let mut out = String::new();
     let rows = bin_improvements(base, full);
-    let _ = writeln!(out, "Table 3 — {panel} (no affinity baseline, improvements to full)");
+    let _ = writeln!(
+        out,
+        "Table 3 — {panel} (no affinity baseline, improvements to full)"
+    );
     let _ = writeln!(
         out,
         "{:>10} | {:>7} {:>6} {:>8} | {:>8} {:>8} {:>8}",
@@ -239,7 +256,11 @@ pub fn render_table4(title: &str, result: &RunResult, limit: usize) -> String {
             limit,
         );
         for row in rows {
-            let _ = writeln!(out, "{:>10} {:>6.2}%  {}", row.samples, row.percent, row.symbol);
+            let _ = writeln!(
+                out,
+                "{:>10} {:>6.2}%  {}",
+                row.samples, row.percent, row.symbol
+            );
         }
     }
     out
@@ -250,7 +271,10 @@ pub fn render_table4(title: &str, result: &RunResult, limit: usize) -> String {
 #[must_use]
 pub fn render_table5(entries: &[(String, RunMetrics, RunMetrics)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 5 — Rank correlation of cycle improvements with event improvements");
+    let _ = writeln!(
+        out,
+        "Table 5 — Rank correlation of cycle improvements with event improvements"
+    );
     let _ = writeln!(out, "{:>10} | {:>6} | {:>6}", "workload", "LLC", "Clears");
     for (label, base, full) in entries {
         let rows = bin_improvements(base, full);

@@ -5,9 +5,7 @@
 //! simulator's wall-clock performance and re-exercises every artifact's
 //! code path. The full-scale regeneration lives in the `repro` binary.
 
-use affinity_sim::{
-    analysis, report, run_experiment, AffinityMode, Direction, ExperimentConfig,
-};
+use affinity_sim::{analysis, report, run_experiment, AffinityMode, Direction, ExperimentConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use sim_cpu::EventCosts;
 use std::hint::black_box;
@@ -43,7 +41,11 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| {
             let no = run_experiment(&quick(Direction::Tx, 65536, AffinityMode::None)).unwrap();
             let full = run_experiment(&quick(Direction::Tx, 65536, AffinityMode::Full)).unwrap();
-            black_box(report::render_table1_panel("TX 64KB", &no.metrics, &full.metrics));
+            black_box(report::render_table1_panel(
+                "TX 64KB",
+                &no.metrics,
+                &full.metrics,
+            ));
         });
     });
     group.finish();

@@ -1,0 +1,65 @@
+//! Micro-benches for the memory-system hot paths the sweep runner leans
+//! on: the slot-cached residency fast path, the coherence ping-pong slow
+//! path, and the flat directory walk. These isolate `sim-mem` so a
+//! regression in `cargo bench hotpath` points at the substrate rather
+//! than the workload model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::CpuId;
+use sim_mem::{MemoryConfig, MemorySystem};
+use std::hint::black_box;
+
+const CPU0: CpuId = CpuId::new(0);
+const CPU1: CpuId = CpuId::new(1);
+
+/// Repeated reads of an L1-resident connection context: after the first
+/// two touches the residency summary engages and every iteration should
+/// replay by slot (no directory traffic, no set scans).
+fn bench_touch_hot_region(c: &mut Criterion) {
+    c.bench_function("touch_hot_region", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let ctx = mem.add_region("conn.tcp_ctx", 1536);
+        mem.data_touch(CPU0, ctx, 0, 1536, false);
+        mem.data_touch(CPU0, ctx, 0, 1536, false);
+        b.iter(|| black_box(mem.data_touch(CPU0, ctx, 0, 1536, false)));
+    });
+}
+
+/// Two CPUs alternately writing the same context: every touch invalidates
+/// the other hierarchy, so each iteration takes the full coherence walk —
+/// the no-affinity ping-pong the paper measures, and the simulator's
+/// worst case.
+fn bench_touch_pingpong(c: &mut Criterion) {
+    c.bench_function("touch_pingpong", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let ctx = mem.add_region("conn.tcp_ctx", 1536);
+        b.iter(|| {
+            black_box(mem.data_touch(CPU0, ctx, 0, 1536, true));
+            black_box(mem.data_touch(CPU1, ctx, 0, 1536, true));
+        });
+    });
+}
+
+/// Streaming reads over a payload-sized region that dwarfs the L1: every
+/// line misses inward, exercising the dense directory array and the
+/// L2/LLC levels rather than the summary fast paths.
+fn bench_directory_lookup(c: &mut Criterion) {
+    c.bench_function("directory_lookup", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let buf = mem.add_region("payload", 64 * 1024);
+        let mut offset = 0u64;
+        b.iter(|| {
+            // March through the buffer so the L1 keeps turning over.
+            black_box(mem.data_touch(CPU0, buf, offset, 4096, false));
+            offset = (offset + 4096) % (64 * 1024);
+        });
+    });
+}
+
+criterion_group!(
+    hotpath,
+    bench_touch_hot_region,
+    bench_touch_pingpong,
+    bench_directory_lookup
+);
+criterion_main!(hotpath);

@@ -139,5 +139,8 @@ fn main() {
         "{}",
         report::render_figure5_panel("impact indicators", m, &EventCosts::paper())
     );
-    println!("{}", report::render_table4("top machine-clear symbols", &result, 6));
+    println!(
+        "{}",
+        report::render_table4("top machine-clear symbols", &result, 6)
+    );
 }

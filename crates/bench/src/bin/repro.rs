@@ -4,12 +4,16 @@
 //! repro                # everything
 //! repro fig3           # one artifact: fig3 fig4 fig5 table1..table5 fourp
 //! repro --sizes 128,65536 fig3   # restrict the size sweep
+//! repro perf           # time the benchmark matrix, write BENCH_substrate.json
 //! ```
+//!
+//! The sweep cells run on a deterministic job pool; `REPRO_THREADS`
+//! overrides the worker count (results are identical at any setting).
 
 use affinity_sim::{
     report, AffinityMode, Direction, ExperimentConfig, RunMetrics, RunResult, PAPER_SIZES,
 };
-use bench::{figure_row, run_cell, EXTREME_POINTS};
+use bench::{figure_row, pool_threads, run_cell, run_pool, EXTREME_POINTS};
 use sim_cpu::EventCosts;
 
 fn parse_args() -> (Vec<String>, Vec<u64>) {
@@ -28,10 +32,12 @@ fn parse_args() -> (Vec<String>, Vec<u64>) {
         }
     }
     if artifacts.is_empty() {
-        artifacts = ["fig3", "fig4", "table1", "table2", "fig5", "table3", "table4", "table5", "fourp"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        artifacts = [
+            "fig3", "fig4", "table1", "table2", "fig5", "table3", "table4", "table5", "fourp",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
     }
     (artifacts, sizes)
 }
@@ -65,13 +71,72 @@ fn extreme_runs() -> Vec<(String, RunResult, RunResult)> {
         .collect()
 }
 
+/// Wall seconds of the pre-optimization harness running the same 112
+/// benchmark cells on this container (median of interleaved runs of the
+/// seed-revision binary, single core). Override with `REPRO_BASELINE_S`
+/// when benchmarking on different hardware.
+const PRE_PR_BASELINE_S: f64 = 13.5;
+
+/// Times the benchmark matrix — both directions, every paper size, all
+/// four modes, two seeds (112 cells, the same matrix the pre-PR harness
+/// ran for `fig3 fig4`) — and writes `BENCH_substrate.json`.
+fn perf() {
+    const SEEDS: [u64; 2] = [0x5EED, 42];
+    let mut jobs: Vec<(Direction, u64, AffinityMode, u64)> = Vec::new();
+    for dir in [Direction::Tx, Direction::Rx] {
+        for &size in &PAPER_SIZES {
+            for mode in AffinityMode::ALL {
+                for seed in SEEDS {
+                    jobs.push((dir, size, mode, seed));
+                }
+            }
+        }
+    }
+    let cells = jobs.len();
+    let threads = pool_threads();
+    eprintln!("timing {cells} cells on {threads} worker(s)...");
+    let t0 = std::time::Instant::now();
+    let results = run_pool(jobs, threads, |(dir, size, mode, seed)| {
+        run_cell(dir, size, mode, seed).metrics.wall_cycles
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    // Fold the results so the work can't be optimized away and the run
+    // is checkable: identical inputs must give an identical digest.
+    let digest = results.iter().fold(0xcbf29ce484222325u64, |h, &c| {
+        (h ^ c).wrapping_mul(0x100000001b3)
+    });
+    let baseline = std::env::var("REPRO_BASELINE_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(PRE_PR_BASELINE_S);
+    let json = format!(
+        "{{\n  \"benchmark\": \"full figure matrix (2 dirs x {n_sizes} sizes x 4 modes x 2 seeds)\",\n  \
+         \"cells\": {cells},\n  \"threads\": {threads},\n  \
+         \"baseline_wall_s\": {baseline:.2},\n  \"current_wall_s\": {wall:.2},\n  \
+         \"speedup\": {speedup:.2},\n  \"cells_per_sec\": {rate:.1},\n  \"digest\": \"{digest:016x}\"\n}}\n",
+        n_sizes = PAPER_SIZES.len(),
+        speedup = baseline / wall,
+        rate = cells as f64 / wall,
+    );
+    std::fs::write("BENCH_substrate.json", &json).expect("write BENCH_substrate.json");
+    print!("{json}");
+}
+
 fn main() {
     let (artifacts, sizes) = parse_args();
     let wants = |name: &str| artifacts.iter().any(|a| a == name);
 
+    if wants("perf") {
+        perf();
+        return;
+    }
+
     let need_sweep = wants("fig3") || wants("fig4");
     let sweeps = if need_sweep {
-        eprintln!("running Figure 3/4 sweeps ({} sizes x 4 modes x 2 dirs)...", sizes.len());
+        eprintln!(
+            "running Figure 3/4 sweeps ({} sizes x 4 modes x 2 dirs)...",
+            sizes.len()
+        );
         Some((sweep(Direction::Tx, &sizes), sweep(Direction::Rx, &sizes)))
     } else {
         None
@@ -101,7 +166,10 @@ fn main() {
     if let Some(extremes) = &extremes {
         if wants("table1") {
             for (label, no, full) in extremes {
-                println!("{}", report::render_table1_panel(label, &no.metrics, &full.metrics));
+                println!(
+                    "{}",
+                    report::render_table1_panel(label, &no.metrics, &full.metrics)
+                );
             }
         }
         if wants("table2") {
@@ -114,24 +182,41 @@ fn main() {
             for (label, no, full) in extremes {
                 println!(
                     "{}",
-                    report::render_figure5_panel(&format!("{label} no affinity"), &no.metrics, &costs)
+                    report::render_figure5_panel(
+                        &format!("{label} no affinity"),
+                        &no.metrics,
+                        &costs
+                    )
                 );
                 println!(
                     "{}",
-                    report::render_figure5_panel(&format!("{label} full affinity"), &full.metrics, &costs)
+                    report::render_figure5_panel(
+                        &format!("{label} full affinity"),
+                        &full.metrics,
+                        &costs
+                    )
                 );
             }
         }
         if wants("table3") {
             for (label, no, full) in extremes {
-                println!("{}", report::render_table3_panel(label, &no.metrics, &full.metrics));
+                println!(
+                    "{}",
+                    report::render_table3_panel(label, &no.metrics, &full.metrics)
+                );
             }
         }
         if wants("table4") {
             for (label, no, full) in extremes {
                 if label.contains("128B") {
-                    println!("{}", report::render_table4(&format!("{label} no affinity"), no, 10));
-                    println!("{}", report::render_table4(&format!("{label} full affinity"), full, 10));
+                    println!(
+                        "{}",
+                        report::render_table4(&format!("{label} no affinity"), no, 10)
+                    );
+                    println!(
+                        "{}",
+                        report::render_table4(&format!("{label} full affinity"), full, 10)
+                    );
                 }
             }
         }

@@ -2,17 +2,20 @@
 //!
 //! The heavy lifting lives in [`affinity_sim`]; this crate adds the
 //! experiment *matrices* the paper's evaluation section defines (which
-//! sizes, which modes, which extreme points) and seed-averaged sweeps.
+//! sizes, which modes, which extreme points), seed-averaged sweeps, and a
+//! deterministic work-stealing job pool that runs matrix cells in
+//! parallel without letting the thread count leak into the results.
 
 use affinity_sim::{
     run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics, RunResult,
 };
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread;
 
 /// Seeds averaged for figure-level numbers (placement dynamics in the
 /// unpinned modes are seed-sensitive, like real scheduler runs).
-pub const FIGURE_SEEDS: [u64; 2] = [0x5EED, 42];
+pub const FIGURE_SEEDS: [u64; 4] = [0x5EED, 42, 0xACE5, 2005];
 
 /// The four "extreme data points" §6 analyses in depth.
 pub const EXTREME_POINTS: [(Direction, u64); 4] = [
@@ -45,9 +48,112 @@ pub fn run_cell(direction: Direction, size: u64, mode: AffinityMode, seed: u64) 
     run_experiment(&cell(direction, size, mode, seed)).expect("valid experiment config")
 }
 
-/// Averages the scalar metrics of several runs (throughput/cost fields);
-/// event counters are taken from the first run, scaled to the mean
-/// throughput — adequate for figure rendering.
+/// Worker count for [`run_pool`]: the `REPRO_THREADS` environment
+/// variable if set, otherwise the machine's available parallelism.
+///
+/// Results never depend on this number — only wall-clock time does.
+#[must_use]
+pub fn pool_threads() -> usize {
+    std::env::var("REPRO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// Runs every job through `run` on a pool of `threads` workers and
+/// returns the results **in job order**, regardless of scheduling.
+///
+/// Each simulation cell is self-contained (its own `Machine`, its own
+/// RNG seeded from the config), so cells never share mutable state and
+/// the per-cell results are bit-identical whether the pool runs with one
+/// worker or many. With `threads <= 1` (or a single job) the jobs run
+/// inline on the caller's thread — no spawning, same results.
+pub fn run_pool<J, R, F>(jobs: Vec<J>, threads: usize, run: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let n = jobs.len();
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return jobs.into_iter().map(run).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let Some((idx, job)) = queue.lock().expect("queue lock").pop_front() else {
+                    return;
+                };
+                let out = run(job);
+                *results[idx].lock().expect("result slot lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Averages the metrics of several runs of the same cell: every counter
+/// — scalars, per-CPU vectors, the machine-wide event bank, the per-bin
+/// banks and the clear-reason breakdown — becomes the rounded mean of
+/// the inputs, so derived rates match the mean of the individual runs.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
+    assert!(!runs.is_empty(), "need at least one run");
+    let n = runs.len() as u64;
+    // Rounded (not floored) integer mean, so e.g. three runs of 1, 1, 2
+    // average to 1 but 1, 2, 2 average to 2.
+    let mean = |sum: u64| (sum + n / 2) / n;
+    let field = |get: &dyn Fn(&RunMetrics) -> u64| mean(runs.iter().map(get).sum::<u64>());
+    let counters = |get: &dyn Fn(&RunMetrics) -> &sim_cpu::PerfCounters| {
+        let mut avg = sim_cpu::PerfCounters::default();
+        for event in sim_cpu::HwEvent::ALL {
+            avg.bump(
+                event,
+                mean(runs.iter().map(|r| get(r).get(event)).sum::<u64>()),
+            );
+        }
+        avg
+    };
+
+    let mut avg = runs[0].clone();
+    avg.wall_cycles = field(&|r| r.wall_cycles);
+    avg.bytes_moved = field(&|r| r.bytes_moved);
+    avg.messages = field(&|r| r.messages);
+    for c in 0..avg.busy_cycles.len() {
+        avg.busy_cycles[c] = field(&|r| r.busy_cycles[c]);
+    }
+    avg.total = counters(&|r| &r.total);
+    for b in 0..avg.bins.len() {
+        avg.bins[b].counters = counters(&|r| &r.bins[b].counters);
+    }
+    for i in 0..avg.clears_by_reason.len() {
+        avg.clears_by_reason[i] = field(&|r| r.clears_by_reason[i]);
+    }
+    avg.resched_ipis = field(&|r| r.resched_ipis);
+    avg.wake_migrations = field(&|r| r.wake_migrations);
+    avg.balance_migrations = field(&|r| r.balance_migrations);
+    avg.lock_acquisitions = field(&|r| r.lock_acquisitions);
+    avg.lock_contended = field(&|r| r.lock_contended);
+    avg.interrupts = field(&|r| r.interrupts);
+    avg
+}
+
+/// Runs one cell for every figure seed and averages the results.
 #[must_use]
 pub fn seed_averaged(direction: Direction, size: u64, mode: AffinityMode) -> RunMetrics {
     let runs: Vec<RunMetrics> = FIGURE_SEEDS
@@ -57,45 +163,35 @@ pub fn seed_averaged(direction: Direction, size: u64, mode: AffinityMode) -> Run
     average_metrics(&runs)
 }
 
-/// Averages a set of run metrics: wall/busy cycles and bytes are averaged
-/// so derived rates (throughput, utilization, cost) equal the mean of the
-/// individual runs' inputs.
-///
-/// # Panics
-///
-/// Panics on an empty slice.
-#[must_use]
-pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
-    assert!(!runs.is_empty(), "need at least one run");
-    let n = runs.len() as u64;
-    let mut avg = runs[0].clone();
-    avg.wall_cycles = runs.iter().map(|r| r.wall_cycles).sum::<u64>() / n;
-    avg.bytes_moved = runs.iter().map(|r| r.bytes_moved).sum::<u64>() / n;
-    avg.messages = runs.iter().map(|r| r.messages).sum::<u64>() / n;
-    for c in 0..avg.busy_cycles.len() {
-        avg.busy_cycles[c] = runs.iter().map(|r| r.busy_cycles[c]).sum::<u64>() / n;
-    }
-    avg
-}
-
-/// Runs a whole figure row (all four modes for one size/direction) in
-/// parallel worker threads, seed-averaged.
+/// Runs a whole figure row (all four modes for one size/direction) on
+/// the job pool, seed-averaged. The row is assembled in matrix order
+/// (mode-major, seed-minor), so the output is independent of how many
+/// workers the pool used.
 #[must_use]
 pub fn figure_row(direction: Direction, size: u64) -> Vec<(AffinityMode, RunMetrics)> {
-    let results = Mutex::new(Vec::new());
-    thread::scope(|s| {
-        for mode in AffinityMode::ALL {
-            let results = &results;
-            s.spawn(move |_| {
-                let metrics = seed_averaged(direction, size, mode);
-                results.lock().push((mode, metrics));
-            });
-        }
-    })
-    .expect("worker threads must not panic");
-    let mut rows = results.into_inner();
-    rows.sort_by_key(|(mode, _)| AffinityMode::ALL.iter().position(|m| m == mode));
-    rows
+    figure_row_on(direction, size, pool_threads())
+}
+
+/// [`figure_row`] with an explicit pool size (for thread-independence
+/// tests).
+#[must_use]
+pub fn figure_row_on(
+    direction: Direction,
+    size: u64,
+    threads: usize,
+) -> Vec<(AffinityMode, RunMetrics)> {
+    let jobs: Vec<(AffinityMode, u64)> = AffinityMode::ALL
+        .iter()
+        .flat_map(|&mode| FIGURE_SEEDS.iter().map(move |&seed| (mode, seed)))
+        .collect();
+    let runs = run_pool(jobs, threads, |(mode, seed)| {
+        run_cell(direction, size, mode, seed).metrics
+    });
+    AffinityMode::ALL
+        .iter()
+        .zip(runs.chunks(FIGURE_SEEDS.len()))
+        .map(|(&mode, chunk)| (mode, average_metrics(chunk)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -124,8 +220,48 @@ mod tests {
     }
 
     #[test]
+    fn average_metrics_rounds_every_counter() {
+        let a = run_cell(Direction::Tx, 1024, AffinityMode::Full, 1).metrics;
+        let mut b = a.clone();
+        // Perturb a scalar, the event bank, a bin and a breakdown entry
+        // by odd deltas so a floored mean would lose the .5.
+        b.messages = a.messages + 1;
+        b.total.llc_misses = a.total.llc_misses + 3;
+        b.bins[0].counters.cycles = a.bins[0].counters.cycles + 5;
+        b.clears_by_reason[0] = a.clears_by_reason[0] + 1;
+        b.lock_contended = a.lock_contended + 7;
+        let avg = average_metrics(&[a.clone(), b]);
+        // (2x + d + 1) / 2 rounded = x + (d + 1) / 2 for odd d.
+        assert_eq!(avg.messages, a.messages + 1);
+        assert_eq!(avg.total.llc_misses, a.total.llc_misses + 2);
+        assert_eq!(avg.bins[0].counters.cycles, a.bins[0].counters.cycles + 3);
+        assert_eq!(avg.clears_by_reason[0], a.clears_by_reason[0] + 1);
+        assert_eq!(avg.lock_contended, a.lock_contended + 4);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one run")]
     fn average_empty_panics() {
         let _ = average_metrics(&[]);
+    }
+
+    #[test]
+    fn run_pool_preserves_job_order() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let serial = run_pool(jobs.clone(), 1, |j| j * j);
+        let parallel = run_pool(jobs, 4, |j| j * j);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[5], 25);
+    }
+
+    #[test]
+    fn figure_row_independent_of_thread_count() {
+        let one = figure_row_on(Direction::Tx, 8192, 1);
+        let many = figure_row_on(Direction::Tx, 8192, 4);
+        assert_eq!(one.len(), many.len());
+        for ((m1, r1), (m2, r2)) in one.iter().zip(many.iter()) {
+            assert_eq!(m1, m2);
+            assert_eq!(r1, r2, "thread count leaked into {} results", m1.label());
+        }
     }
 }

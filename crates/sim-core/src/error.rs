@@ -76,7 +76,10 @@ mod tests {
             SimError::EmptyAffinityMask.to_string(),
             "affinity mask selects no cpu"
         );
-        assert_eq!(SimError::NotRun.to_string(), "simulation has not been run yet");
+        assert_eq!(
+            SimError::NotRun.to_string(),
+            "simulation has not been run yet"
+        );
     }
 
     #[test]

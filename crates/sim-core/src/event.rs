@@ -5,6 +5,22 @@
 //! ties by insertion sequence number, so two events scheduled for the same
 //! cycle always pop in the order they were pushed, regardless of heap
 //! internals.
+//!
+//! # Causality contract
+//!
+//! The queue tracks a *watermark*: the timestamp of the most recently
+//! popped event, i.e. how far simulated time has provably advanced. Every
+//! [`EventQueue::push`] must satisfy `time >= watermark` — scheduling
+//! behind the watermark would mean an event fires in the caller's past,
+//! and the queue panics rather than silently reordering history.
+//! Scheduling *at* the watermark is always legal (the new event pops
+//! after anything already pending at that cycle, FIFO). Callers reacting
+//! to the event being processed right now should use
+//! [`EventQueue::schedule_now`], which pins the timestamp to the
+//! watermark and therefore can never violate the contract; callers
+//! computing a future timestamp from per-CPU clocks that may trail the
+//! queue (the machine's CPUs run ahead of and behind device time) must
+//! clamp with `at.max(queue.now().cycles())` before pushing.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -105,6 +121,15 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(ScheduledEvent { time, seq, event });
+    }
+
+    /// Schedules `event` for the current watermark — "as soon as
+    /// possible" from the queue's point of view. Unlike [`EventQueue::push`]
+    /// with a caller-computed timestamp, this can never panic: the
+    /// watermark trivially satisfies the causality contract.
+    pub fn schedule_now(&mut self, event: E) {
+        let now = self.watermark;
+        self.push(now, event);
     }
 
     /// Removes and returns the earliest event, advancing the causality
@@ -211,6 +236,19 @@ mod tests {
         q.pop();
         q.push(SimTime::from_cycles(10), 2); // same cycle as "now": fine
         assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn schedule_now_lands_on_the_watermark() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_cycles(10), 1);
+        q.pop();
+        q.schedule_now(2); // at the watermark: legal, pops next
+        assert_eq!(q.pop(), Some((SimTime::from_cycles(10), 2)));
+        // On a fresh queue the watermark is time zero.
+        let mut fresh = EventQueue::new();
+        fresh.schedule_now('a');
+        assert_eq!(fresh.pop(), Some((SimTime::ZERO, 'a')));
     }
 
     #[test]

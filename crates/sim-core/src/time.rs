@@ -27,7 +27,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.cycles(), 250);
 /// assert_eq!(t - SimTime::from_cycles(50), 200);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

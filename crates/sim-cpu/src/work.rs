@@ -81,7 +81,11 @@ impl WorkItem {
             base_cpi: 0.5,
             fixed_cycles: 0,
             code: None,
-            touches: Vec::new(),
+            // Work items are built on the hot path (one per modelled
+            // function call); no stack function touches more than four
+            // ranges, so one up-front allocation replaces the
+            // grow-on-push reallocs of the builder chain.
+            touches: Vec::with_capacity(4),
             branch_fraction: 0.0,
             mispredict_rate: 0.0,
         }

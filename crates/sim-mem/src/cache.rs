@@ -41,23 +41,16 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// LRU timestamp: larger = more recently used.
-    lru: u64,
-}
-
-const INVALID_WAY: Way = Way {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    lru: 0,
-};
+/// Per-way state bit: the way holds a line.
+const VALID: u8 = 1 << 0;
+/// Per-way state bit: the held line is modified.
+const DIRTY: u8 = 1 << 1;
 
 /// A set-associative, write-allocate, LRU cache over line addresses.
+///
+/// Way state is stored structure-of-arrays — contiguous tags, one packed
+/// flag byte per way, and a separate LRU array — so the hit scan of a set
+/// reads one short run of tags instead of striding over padded structs.
 ///
 /// # Example
 ///
@@ -74,7 +67,12 @@ pub struct Cache {
     sets: usize,
     ways: usize,
     set_mask: u64,
-    storage: Vec<Way>,
+    /// `tags[set * ways + way]`: the line address held by the way.
+    tags: Vec<u64>,
+    /// `flags[set * ways + way]`: [`VALID`] | [`DIRTY`] bits.
+    flags: Vec<u8>,
+    /// `lru[set * ways + way]`: timestamp, larger = more recently used.
+    lru: Vec<u64>,
     clock: u64,
     stats: CacheStats,
 }
@@ -88,6 +86,9 @@ pub struct AccessOutcome {
     pub evicted: Option<u64>,
     /// The evicted victim was dirty (would be written back).
     pub evicted_dirty: bool,
+    /// Storage slot now holding the line (as [`Cache::slot_of`] would
+    /// report), for callers that maintain residency slot caches.
+    pub slot: u32,
 }
 
 impl Cache {
@@ -98,14 +99,19 @@ impl Cache {
     /// Panics if `sets` is not a power of two or `ways` is zero.
     #[must_use]
     pub fn new(name: impl Into<String>, sets: usize, ways: usize) -> Self {
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "need at least one way");
         Cache {
             name: name.into(),
             sets,
             ways,
             set_mask: sets as u64 - 1,
-            storage: vec![INVALID_WAY; sets * ways],
+            tags: vec![0; sets * ways],
+            flags: vec![0; sets * ways],
+            lru: vec![0; sets * ways],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -129,87 +135,119 @@ impl Cache {
         &self.name
     }
 
+    /// Index of the way in `[base, base + ways)` holding `line`, if any.
+    #[inline]
+    fn find(&self, base: usize, line: u64) -> Option<usize> {
+        let tags = &self.tags[base..base + self.ways];
+        let flags = &self.flags[base..base + self.ways];
+        (0..self.ways).find(|&w| tags[w] == line && flags[w] & VALID != 0)
+    }
+
     /// Accesses `line`, filling it on a miss (write-allocate).
     pub fn access(&mut self, line: u64, kind: AccessKind) -> AccessOutcome {
         self.clock += 1;
         let set = (line & self.set_mask) as usize;
         let base = set * self.ways;
-        let slots = &mut self.storage[base..base + self.ways];
 
         // Hit?
-        if let Some(way) = slots.iter_mut().find(|w| w.valid && w.tag == line) {
-            way.lru = self.clock;
+        if let Some(w) = self.find(base, line) {
+            self.lru[base + w] = self.clock;
             if kind == AccessKind::Write {
-                way.dirty = true;
+                self.flags[base + w] |= DIRTY;
             }
             self.stats.hits += 1;
             return AccessOutcome {
                 hit: true,
                 evicted: None,
                 evicted_dirty: false,
+                slot: (base + w) as u32,
             };
         }
 
         self.stats.misses += 1;
 
         // Fill: prefer an invalid way, else evict LRU.
-        let victim_idx = slots
-            .iter()
-            .enumerate()
-            .find(|(_, w)| !w.valid)
-            .map(|(i, _)| i)
+        let flags = &self.flags[base..base + self.ways];
+        let victim_idx = (0..self.ways)
+            .find(|&w| flags[w] & VALID == 0)
             .unwrap_or_else(|| {
-                slots
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
-                    .map(|(i, _)| i)
-                    .expect("ways > 0")
+                let lru = &self.lru[base..base + self.ways];
+                (0..self.ways).min_by_key(|&w| lru[w]).expect("ways > 0")
             });
 
-        let victim = slots[victim_idx];
-        let (evicted, evicted_dirty) = if victim.valid {
+        let slot = base + victim_idx;
+        let (evicted, evicted_dirty) = if self.flags[slot] & VALID != 0 {
             self.stats.evictions += 1;
-            (Some(victim.tag), victim.dirty)
+            (Some(self.tags[slot]), self.flags[slot] & DIRTY != 0)
         } else {
             (None, false)
         };
 
-        slots[victim_idx] = Way {
-            tag: line,
-            valid: true,
-            dirty: kind == AccessKind::Write,
-            lru: self.clock,
+        self.tags[slot] = line;
+        self.flags[slot] = if kind == AccessKind::Write {
+            VALID | DIRTY
+        } else {
+            VALID
         };
+        self.lru[slot] = self.clock;
 
         AccessOutcome {
             hit: false,
             evicted,
             evicted_dirty,
+            slot: slot as u32,
+        }
+    }
+
+    /// Returns the storage slot holding `line`, if resident. The slot
+    /// stays valid until the line is evicted, invalidated or flushed —
+    /// callers caching slots must invalidate their cache on any of those
+    /// (see `sim-mem`'s residency summaries).
+    #[must_use]
+    pub fn slot_of(&self, line: u64) -> Option<u32> {
+        let base = (line & self.set_mask) as usize * self.ways;
+        self.find(base, line).map(|w| (base + w) as u32)
+    }
+
+    /// Touches a run of resident lines by pre-resolved storage slot:
+    /// `slots[i]` must hold line `first_line + i` (as returned by
+    /// [`Cache::slot_of`] with no intervening eviction, invalidation or
+    /// flush). Bookkeeping is identical to calling [`Cache::access`] on
+    /// each line in order when every access hits: the clock advances once
+    /// per line, each line becomes most recently used in access order,
+    /// and each access counts one hit.
+    pub fn touch_resident_run(&mut self, slots: &[u32], first_line: u64, write: bool) {
+        let base_clock = self.clock;
+        let n = slots.len() as u64;
+        self.clock += n;
+        self.stats.hits += n;
+        for (i, &slot) in slots.iter().enumerate() {
+            let slot = slot as usize;
+            debug_assert!(
+                self.flags[slot] & VALID != 0 && self.tags[slot] == first_line + i as u64,
+                "stale slot cache: slot {slot} does not hold line {}",
+                first_line + i as u64
+            );
+            self.lru[slot] = base_clock + i as u64 + 1;
+            if write {
+                self.flags[slot] |= DIRTY;
+            }
         }
     }
 
     /// Returns `true` if `line` is resident (does not touch LRU state).
     #[must_use]
     pub fn contains(&self, line: u64) -> bool {
-        let set = (line & self.set_mask) as usize;
-        let base = set * self.ways;
-        self.storage[base..base + self.ways]
-            .iter()
-            .any(|w| w.valid && w.tag == line)
+        let base = (line & self.set_mask) as usize * self.ways;
+        self.find(base, line).is_some()
     }
 
     /// Removes `line` if resident (coherence invalidation). Returns whether
     /// the line was present.
     pub fn invalidate(&mut self, line: u64) -> bool {
-        let set = (line & self.set_mask) as usize;
-        let base = set * self.ways;
-        if let Some(way) = self.storage[base..base + self.ways]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == line)
-        {
-            way.valid = false;
-            way.dirty = false;
+        let base = (line & self.set_mask) as usize * self.ways;
+        if let Some(w) = self.find(base, line) {
+            self.flags[base + w] = 0;
             self.stats.invalidations += 1;
             true
         } else {
@@ -220,21 +258,15 @@ impl Cache {
     /// Marks `line` clean if resident (coherence downgrade on a remote
     /// read of a modified line).
     pub fn clean(&mut self, line: u64) {
-        let set = (line & self.set_mask) as usize;
-        let base = set * self.ways;
-        if let Some(way) = self.storage[base..base + self.ways]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == line)
-        {
-            way.dirty = false;
+        let base = (line & self.set_mask) as usize * self.ways;
+        if let Some(w) = self.find(base, line) {
+            self.flags[base + w] &= !DIRTY;
         }
     }
 
     /// Drops every line (e.g. simulating a full flush).
     pub fn flush(&mut self) {
-        for w in &mut self.storage {
-            *w = INVALID_WAY;
-        }
+        self.flags.fill(0);
     }
 
     /// Counter snapshot.
@@ -251,13 +283,20 @@ impl Cache {
     /// Number of currently valid lines.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.storage.iter().filter(|w| w.valid).count()
+        self.flags.iter().filter(|&&f| f & VALID != 0).count()
     }
 
     /// Total capacity in lines.
     #[must_use]
     pub fn capacity_lines(&self) -> usize {
         self.sets * self.ways
+    }
+
+    /// Number of sets. A run of consecutive line addresses no longer than
+    /// this maps every line to a distinct set.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
     }
 }
 
@@ -329,6 +368,43 @@ mod tests {
         assert!(!c.contains(0));
         assert!(c.contains(1));
         assert!(c.contains(2));
+    }
+
+    #[test]
+    fn touch_resident_run_matches_sequential_hits() {
+        // Two identical caches, same warm-up; then one takes the slot
+        // path and the other the per-line access path. Future behaviour
+        // (evictions, stats) must be indistinguishable.
+        let mut a = Cache::new("a", 4, 2);
+        let mut b = Cache::new("b", 4, 2);
+        for line in 0..6u64 {
+            a.access(line, AccessKind::Read);
+            b.access(line, AccessKind::Read);
+        }
+        let slots: Vec<u32> = (2..6u64).map(|l| a.slot_of(l).expect("resident")).collect();
+        a.touch_resident_run(&slots, 2, true);
+        for line in 2..6u64 {
+            assert!(b.access(line, AccessKind::Write).hit);
+        }
+        assert_eq!(a.stats(), b.stats());
+        // Same future evictions: push conflicting lines through both.
+        for line in 8..16u64 {
+            let oa = a.access(line, AccessKind::Read);
+            let ob = b.access(line, AccessKind::Read);
+            assert_eq!(oa, ob, "divergence at line {line}");
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn slot_of_reports_residency() {
+        let mut c = small();
+        assert_eq!(c.slot_of(5), None);
+        c.access(5, AccessKind::Read);
+        let slot = c.slot_of(5).expect("resident");
+        assert!((slot as usize) < c.capacity_lines());
+        c.invalidate(5);
+        assert_eq!(c.slot_of(5), None);
     }
 
     #[test]

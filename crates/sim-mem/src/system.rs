@@ -17,13 +17,46 @@
 //! The LLC is kept inclusive: evicting a line from the LLC back-invalidates
 //! the inner levels, so "resident in LLC" is an upper bound for the whole
 //! hierarchy, matching how the paper reasons about last-level misses.
-
-use std::collections::HashMap;
+//!
+//! # Hot-path layout
+//!
+//! Touches dominate simulation time, so the structures they walk are flat:
+//!
+//! * The directory is a dense `Vec<DirEntry>` indexed by line address.
+//!   [`RegionTable`] hands out a contiguous physical range, so the vector
+//!   stays small and a default entry (no sharers, no owner) is exactly
+//!   equivalent to the absence of an entry in a sparse map.
+//! * TLBs are probed once per *page* of a touch instead of once per line
+//!   ([`Tlb::access_n`] keeps the bookkeeping identical).
+//! * A generation-stamped per-(CPU, region) [`Summary`] records when every
+//!   line of a region is resident in the CPU's L1 (`hot`), and when on top
+//!   of that there are no foreign sharers and the CPU owns every line
+//!   (`owned`). While the stamp is current, a read touch of a hot region —
+//!   or a write touch of an owned one — short-circuits the per-line
+//!   coherence-and-hierarchy walk down to the L1 hit bookkeeping, which is
+//!   the only part with observable effects. Every event that could falsify
+//!   a summary (fills, evictions, invalidations, downgrades, DMA)
+//!   advances the region's generation, so the fast path can never mask a
+//!   miss or skip an invalidation: observable counters are bit-identical
+//!   to the per-line walk.
+//! * The verification scan also records each line's L1 storage slot, so
+//!   the fast path updates LRU state by direct index
+//!   ([`Cache::touch_resident_run`]) instead of re-running the
+//!   set-and-way search per line. Slots can only go stale through events
+//!   that bump the generation, so a current summary implies current slots.
+//! * Code fetches get the same treatment via [`CodeSummary`]: every fetch
+//!   whose span ends up fully resident (all hits, or a span no larger
+//!   than the trace cache's set count, where consecutive lines cannot
+//!   collide) records the span's trace-cache slots, and the next fetch of
+//!   the same span replays the TC bookkeeping by slot. The TC is only
+//!   ever changed by the owning CPU's fetch fills (no invalidations or
+//!   flushes reach it), so the single bump site is a fill's eviction.
 
 use serde::{Deserialize, Serialize};
 use sim_core::CpuId;
 
 use crate::cache::{AccessKind, Cache, CacheStats};
+
 use crate::config::MemoryConfig;
 use crate::region::{RegionId, RegionTable};
 use crate::tlb::{Tlb, TlbStats};
@@ -39,12 +72,154 @@ struct CpuCaches {
     dtlb: Tlb,
 }
 
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct DirEntry {
     /// Bitmask of CPUs that may hold the line.
     sharers: u32,
     /// CPU holding the line modified, if any.
     owner: Option<u8>,
+}
+
+/// Residency summary for one (CPU, region) pair, backing the touch fast
+/// path.
+///
+/// The claims (`hot`, `owned`) are trusted only while `verified_gen`
+/// matches the (CPU, region) generation in [`MemorySystem::gens`]; every
+/// event that could falsify them — an L1 fill or eviction, a coherence
+/// invalidation or downgrade, a directory sharer/owner change, DMA —
+/// bumps that generation, so a stale summary simply falls back to the
+/// exact per-line walk until a verification scan re-establishes it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Summary {
+    /// Value of the region generation (`MemorySystem::gens`) when the
+    /// claims were last verified.
+    verified_gen: u64,
+    /// Value of `change_gen` when a verification scan last failed;
+    /// suppresses re-scans until the state moves again.
+    failed_gen: u64,
+    /// Every line of the region is resident in this CPU's L1, so reads
+    /// are pure L1 hits and read coherence is a no-op (a resident line's
+    /// owner can only be this CPU or nobody).
+    hot: bool,
+    /// Additionally each line has `sharers == {cpu}` and this CPU as its
+    /// directory owner, so write coherence is a no-op too.
+    owned: bool,
+    /// L1 storage slot of each region line (index `line - first_line`),
+    /// recorded by the verification scan. Valid exactly as long as the
+    /// summary is: any eviction, invalidation or fill that could move a
+    /// line bumps `change_gen` first.
+    slots: Vec<u32>,
+    /// Recently promoted touch spans (see [`SpanClaim`]). A touch whose
+    /// exact span carries a current claim replays by slot even when the
+    /// whole region is not resident (`hot` unset). Touch patterns repeat
+    /// a handful of distinct spans per region, so a few claims suffice.
+    spans: Vec<SpanClaim>,
+    /// Round-robin replacement cursor for `spans` when every claim is
+    /// still current.
+    span_cursor: usize,
+}
+
+/// Maximum replayable touch spans remembered per (CPU, region).
+const SPAN_CLAIMS: usize = 8;
+
+/// One replayable touch span: while `gen` matches the (CPU, region)
+/// generation, lines `first..=last` are fully L1-resident at `slots`,
+/// so an exact repeat of the touch is pure L1 hits and read coherence is
+/// a no-op (a resident line's owner is this CPU or nobody).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SpanClaim {
+    /// Value of the (CPU, region) generation when the claim was recorded.
+    gen: u64,
+    first: u64,
+    last: u64,
+    /// The claim came from a write walk, which left every span line with
+    /// `sharers == {cpu}` and this CPU as owner — so a repeated *write*
+    /// of the span is also coherence- and directory-free.
+    owned: bool,
+    /// L1 storage slot of `first + i`, recorded during the walk.
+    slots: Vec<u32>,
+}
+
+impl Default for SpanClaim {
+    fn default() -> Self {
+        SpanClaim {
+            // Never equals a real generation: claims start withdrawn.
+            gen: u64::MAX,
+            first: 0,
+            last: 0,
+            owned: false,
+            slots: Vec::new(),
+        }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            verified_gen: 0,
+            // != change_gen so the first verification scan is allowed.
+            failed_gen: u64::MAX,
+            hot: false,
+            owned: false,
+            slots: Vec::new(),
+            spans: Vec::new(),
+            span_cursor: 0,
+        }
+    }
+}
+
+impl Summary {
+    #[inline]
+    fn is_current(&self, gen: u64) -> bool {
+        self.hot && self.verified_gen == gen
+    }
+
+    #[inline]
+    fn span_matching(&self, gen: u64, first: u64, last: u64, write: bool) -> Option<&SpanClaim> {
+        self.spans
+            .iter()
+            .find(|c| c.gen == gen && c.first == first && c.last == last && (!write || c.owned))
+    }
+}
+
+/// Residency summary for one (CPU, region) pair on the *code* side: the
+/// span of lines the last fully-resident fetch covered, with each line's
+/// trace cache slot. Trace-cache contents only change through this CPU's own
+/// code fetches (nothing invalidates or flushes the TC), so the only bump
+/// site is a TC fill evicting a victim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CodeSummary {
+    change_gen: u64,
+    verified_gen: u64,
+    span_first: u64,
+    span_last: u64,
+    /// TC storage slot of `span_first + i` at verification time.
+    slots: Vec<u32>,
+}
+
+impl Default for CodeSummary {
+    fn default() -> Self {
+        CodeSummary {
+            change_gen: 0,
+            // != change_gen so a fresh summary never claims a span.
+            verified_gen: u64::MAX,
+            span_first: 0,
+            span_last: 0,
+            slots: Vec::new(),
+        }
+    }
+}
+
+impl CodeSummary {
+    #[inline]
+    fn bump(&mut self) {
+        self.change_gen += 1;
+    }
+
+    #[inline]
+    fn covers(&self, first: u64, last: u64) -> bool {
+        self.verified_gen == self.change_gen && self.span_first == first && self.span_last == last
+    }
 }
 
 /// Result of one data touch: how many lines were accessed and how far each
@@ -100,6 +275,26 @@ impl FetchResult {
     }
 }
 
+/// Probes a TLB once per page covered by the line run `[first, last]`.
+///
+/// Bookkeeping is identical to one probe per line (see [`Tlb::access_n`]);
+/// returns the number of page walks, which equals the per-line miss count
+/// because within one run only the first probe of a page can miss.
+fn probe_pages(tlb: &mut Tlb, first: u64, last: u64, lines_per_page_shift: u32) -> u64 {
+    let mut misses = 0;
+    let mut line = first;
+    while line <= last {
+        let page = line >> lines_per_page_shift;
+        let page_last = ((page + 1) << lines_per_page_shift) - 1;
+        let run = page_last.min(last) - line + 1;
+        if !tlb.access_n(page, run) {
+            misses += 1;
+        }
+        line = page_last + 1;
+    }
+    misses
+}
+
 /// The multi-CPU coherent memory system.
 ///
 /// See the module documentation for the coherence rules.
@@ -108,7 +303,22 @@ pub struct MemorySystem {
     config: MemoryConfig,
     regions: RegionTable,
     cpus: Vec<CpuCaches>,
-    directory: HashMap<u64, DirEntry>,
+    /// Dense directory, indexed by line address. A default entry is
+    /// equivalent to "line unknown".
+    directory: Vec<DirEntry>,
+    /// Region index per page, for attributing cache and directory events
+    /// (a touch can run past its region's end, so attribution goes by the
+    /// line actually affected, not by the touched region).
+    page_region: Vec<u32>,
+    /// `summaries[cpu][region]`: residency fast-path state.
+    summaries: Vec<Vec<Summary>>,
+    /// `gens[region * cpus + cpu]`: the (CPU, region) change generation
+    /// guarding that summary's claims. Kept flat and region-contiguous so
+    /// the fill path can bump every CPU's view of a region with one short
+    /// contiguous run of increments.
+    gens: Vec<u64>,
+    /// `code_summaries[cpu][region]`: trace-cache fast-path state.
+    code_summaries: Vec<Vec<CodeSummary>>,
     line_shift: u32,
     page_shift: u32,
 }
@@ -124,17 +334,32 @@ impl MemorySystem {
     pub fn new(config: MemoryConfig) -> Self {
         config.validate().expect("invalid memory configuration");
         let line = config.line_size;
-        let cpus = (0..config.cpus)
+        let cpus: Vec<CpuCaches> = (0..config.cpus)
             .map(|i| CpuCaches {
-                l1: Cache::with_geometry(format!("cpu{i}.l1d"), config.l1_size, config.l1_assoc, line),
-                l2: Cache::with_geometry(format!("cpu{i}.l2"), config.l2_size, config.l2_assoc, line),
+                l1: Cache::with_geometry(
+                    format!("cpu{i}.l1d"),
+                    config.l1_size,
+                    config.l1_assoc,
+                    line,
+                ),
+                l2: Cache::with_geometry(
+                    format!("cpu{i}.l2"),
+                    config.l2_size,
+                    config.l2_assoc,
+                    line,
+                ),
                 llc: Cache::with_geometry(
                     format!("cpu{i}.llc"),
                     config.llc_size,
                     config.llc_assoc,
                     line,
                 ),
-                tc: Cache::with_geometry(format!("cpu{i}.tc"), config.tc_size, config.tc_assoc, line),
+                tc: Cache::with_geometry(
+                    format!("cpu{i}.tc"),
+                    config.tc_size,
+                    config.tc_assoc,
+                    line,
+                ),
                 itlb: Tlb::new(config.itlb_entries as usize),
                 dtlb: Tlb::new(config.dtlb_entries as usize),
             })
@@ -143,7 +368,11 @@ impl MemorySystem {
             line_shift: config.line_size.trailing_zeros(),
             page_shift: config.page_size.trailing_zeros(),
             regions: RegionTable::new(config.page_size as u64),
-            directory: HashMap::new(),
+            directory: Vec::new(),
+            page_region: Vec::new(),
+            summaries: vec![Vec::new(); cpus.len()],
+            gens: Vec::new(),
+            code_summaries: vec![Vec::new(); cpus.len()],
             cpus,
             config,
         }
@@ -157,7 +386,37 @@ impl MemorySystem {
 
     /// Allocates a named region of simulated memory.
     pub fn add_region(&mut self, name: impl Into<String>, bytes: u64) -> RegionId {
-        self.regions.add(name, bytes)
+        let id = self.regions.add(name, bytes);
+        let (base, size) = {
+            let r = self.regions.get(id);
+            (r.base(), r.size())
+        };
+        // A touch starting near the region end runs past it by up to
+        // `size - 1` bytes (see `MemRegion::addr`); cover the worst case
+        // so line indexing never leaves the flat structures.
+        let cover = (base + 2 * size).max(self.regions.footprint());
+        let lines = (cover >> self.line_shift) as usize + 1;
+        if self.directory.len() < lines {
+            self.directory.resize(lines, DirEntry::default());
+        }
+        let first_page = (base >> self.page_shift) as usize;
+        let pages = (cover >> self.page_shift) as usize + 1;
+        if self.page_region.len() < pages {
+            self.page_region.resize(pages, 0);
+        }
+        // Authoritative for this region's own pages; trailing overflow
+        // pages keep this id until a later region claims them.
+        for p in &mut self.page_region[first_page..pages] {
+            *p = id.index() as u32;
+        }
+        for per_cpu in &mut self.summaries {
+            per_cpu.push(Summary::default());
+        }
+        self.gens.extend(std::iter::repeat_n(0, self.cpus.len()));
+        for per_cpu in &mut self.code_summaries {
+            per_cpu.push(CodeSummary::default());
+        }
+        id
     }
 
     /// The region directory.
@@ -188,120 +447,245 @@ impl MemorySystem {
         if bytes == 0 {
             return result;
         }
-        let (start, end) = {
-            let r = self.regions.get(region);
-            (r.addr(offset), r.addr(offset) + bytes.min(r.size()))
-        };
-        let first = self.line_of(start);
-        let last = self.line_of(end.saturating_sub(1));
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
-        for line in first..=last {
-            result.lines += 1;
-            self.access_data_line(cpu, line, kind, &mut result);
-        }
-        result
-    }
-
-    fn access_data_line(&mut self, cpu: CpuId, line: u64, kind: AccessKind, out: &mut TouchResult) {
         let idx = cpu.index();
         assert!(idx < self.cpus.len(), "cpu {idx} out of range");
-
-        // Translate.
-        let page = line >> (self.page_shift - self.line_shift);
-        if !self.cpus[idx].dtlb.access(page) {
-            out.dtlb_misses += 1;
-        }
-
-        // Coherence first: writes invalidate remote copies; reads downgrade
-        // a remote modified owner.
-        self.coherence_before(cpu, line, kind);
-
-        let caches = &mut self.cpus[idx];
-        let l1 = caches.l1.access(line, kind);
-        if l1.hit {
-            return;
-        }
-        out.l1_misses += 1;
-        let l2 = caches.l2.access(line, kind);
-        if l2.hit {
-            return;
-        }
-        out.l2_misses += 1;
-        let llc = caches.llc.access(line, kind);
-        if let Some(victim) = llc.evicted {
-            // Inclusive LLC: back-invalidate inner levels and drop the
-            // victim from the directory's view of this CPU.
-            caches.l1.invalidate(victim);
-            caches.l2.invalidate(victim);
-            self.remove_sharer(victim, idx);
-        }
-        if !llc.hit {
-            out.llc_misses += 1;
-        }
-        // Record residency.
-        let entry = self.directory.entry(line).or_default();
-        entry.sharers |= 1 << idx;
-        if kind == AccessKind::Write {
-            entry.owner = Some(idx as u8);
-        }
-    }
-
-    fn coherence_before(&mut self, cpu: CpuId, line: u64, kind: AccessKind) {
-        let idx = cpu.index();
-        let Some(entry) = self.directory.get_mut(&line) else {
-            if kind == AccessKind::Write {
-                self.directory.insert(
-                    line,
-                    DirEntry {
-                        sharers: 1 << idx,
-                        owner: Some(idx as u8),
-                    },
-                );
-            }
-            return;
+        let (start, end, region_first_line, region_last_line) = {
+            let r = self.regions.get(region);
+            let start = r.addr(offset);
+            (
+                start,
+                start + bytes.min(r.size()),
+                r.base() >> self.line_shift,
+                (r.base() + r.size() - 1) >> self.line_shift,
+            )
         };
-        match kind {
-            AccessKind::Write => {
-                // Invalidate every other sharer.
-                let others = entry.sharers & !(1 << idx);
-                entry.sharers &= 1 << idx;
-                entry.owner = Some(idx as u8);
-                if others != 0 {
-                    for other in 0..self.cpus.len() {
-                        if others & (1 << other) != 0 {
-                            let c = &mut self.cpus[other];
-                            c.l1.invalidate(line);
-                            c.l2.invalidate(line);
-                            c.llc.invalidate(line);
+        let first = start >> self.line_shift;
+        let last = (end - 1) >> self.line_shift;
+        result.lines = last - first + 1;
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let lpp = self.page_shift - self.line_shift;
+
+        // One DTLB probe per page instead of per line. The TLB shares no
+        // state with the caches or the directory, so probing the pages up
+        // front is indistinguishable from interleaving per-line probes.
+        result.dtlb_misses = probe_pages(&mut self.cpus[idx].dtlb, first, last, lpp);
+
+        let me_bit = 1u32 << idx;
+        let me = idx as u8;
+        let MemorySystem {
+            cpus,
+            directory,
+            page_region,
+            summaries,
+            gens,
+            ..
+        } = self;
+        let ncpus = cpus.len();
+
+        // Fast path: every line is a private L1 hit, so coherence and the
+        // directory update are no-ops and only the L1 bookkeeping remains
+        // — applied by pre-resolved storage slot, skipping the set scan.
+        // Touches that run past the region end (offset wrap) take the
+        // slow path — the summary only covers the region's own lines.
+        let gen = gens[region.index() * ncpus + idx];
+        let s = &summaries[idx][region.index()];
+        if s.is_current(gen) && (!write || s.owned) && last <= region_last_line {
+            let lo = (first - region_first_line) as usize;
+            cpus[idx]
+                .l1
+                .touch_resident_run(&s.slots[lo..lo + result.lines as usize], first, write);
+            return result;
+        }
+        // Span fast path: an exact repeat of the last promoted touch of
+        // this region, while nothing that could move or reclassify its
+        // lines has happened. The span is fully L1-resident (pure hits),
+        // and for writes the span is privately owned, so coherence and
+        // the directory are no-ops either way.
+        if let Some(c) = s.span_matching(gen, first, last, write) {
+            cpus[idx].l1.touch_resident_run(&c.slots, first, write);
+            return result;
+        }
+        // Pick the claim this walk will (try to) establish and borrow its
+        // slot buffer, so promotion below is scan-free. Stale claims are
+        // recycled first; otherwise replacement round-robins. The choice
+        // has no observable effect, so any deterministic policy is fine.
+        let (span_idx, mut span_slots) = {
+            let s = &mut summaries[idx][region.index()];
+            let i = if let Some(i) = s.spans.iter().position(|c| c.gen != gen) {
+                i
+            } else if s.spans.len() < SPAN_CLAIMS {
+                s.spans.push(SpanClaim::default());
+                s.spans.len() - 1
+            } else {
+                let i = s.span_cursor;
+                s.span_cursor = (i + 1) % SPAN_CLAIMS;
+                i
+            };
+            (i, std::mem::take(&mut s.spans[i].slots))
+        };
+        span_slots.clear();
+        for line in first..=last {
+            // Coherence: writes invalidate remote copies; reads downgrade
+            // a remote modified owner. For a read, the L1 is probed first:
+            // a resident line's directory owner can only be this CPU or
+            // nobody (a remote write would have invalidated the copy), so
+            // read coherence on an L1 hit is a no-op and the directory —
+            // a large flat array — need not be touched at all. The remote
+            // downgrade and the local fill operate on disjoint state, so
+            // probing before the downgrade is indistinguishable from the
+            // coherence-first order.
+            let l1 = match kind {
+                AccessKind::Write => {
+                    let entry = &mut directory[line as usize];
+                    let others = entry.sharers & !me_bit;
+                    entry.sharers &= me_bit;
+                    entry.owner = Some(me);
+                    if others != 0 {
+                        let r_line = page_region[(line >> lpp) as usize] as usize;
+                        for (other, c) in cpus.iter_mut().enumerate() {
+                            if others & (1 << other) != 0 {
+                                c.l1.invalidate(line);
+                                c.l2.invalidate(line);
+                                c.llc.invalidate(line);
+                                gens[r_line * ncpus + other] += 1;
+                            }
+                        }
+                        // The write privatised the line: let this CPU's
+                        // summary re-scan for the `owned` upgrade.
+                        gens[r_line * ncpus + idx] += 1;
+                    }
+                    cpus[idx].l1.access(line, kind)
+                }
+                AccessKind::Read => {
+                    let l1 = cpus[idx].l1.access(line, kind);
+                    if !l1.hit {
+                        let entry = &mut directory[line as usize];
+                        if let Some(owner) = entry.owner {
+                            if owner as usize != idx {
+                                // Remote modified copy: force writeback,
+                                // keep shared.
+                                let c = &mut cpus[owner as usize];
+                                c.l1.clean(line);
+                                c.l2.clean(line);
+                                c.llc.clean(line);
+                                entry.owner = None;
+                                let r_line = page_region[(line >> lpp) as usize] as usize;
+                                gens[r_line * ncpus + owner as usize] += 1;
+                            }
                         }
                     }
+                    l1
                 }
-            }
-            AccessKind::Read => {
-                if let Some(owner) = entry.owner {
-                    if owner as usize != idx {
-                        // Remote modified copy: force writeback, keep shared.
-                        let c = &mut self.cpus[owner as usize];
-                        c.l1.clean(line);
-                        c.l2.clean(line);
-                        c.llc.clean(line);
-                        entry.owner = None;
-                    }
-                }
-            }
-        }
-    }
+            };
 
-    fn remove_sharer(&mut self, line: u64, cpu_idx: usize) {
-        if let Some(entry) = self.directory.get_mut(&line) {
-            entry.sharers &= !(1 << cpu_idx);
-            if entry.owner == Some(cpu_idx as u8) {
-                entry.owner = None;
+            span_slots.push(l1.slot);
+            let caches = &mut cpus[idx];
+            if l1.hit {
+                continue;
             }
-            if entry.sharers == 0 {
-                self.directory.remove(&line);
+            result.l1_misses += 1;
+            if let Some(victim) = l1.evicted {
+                gens[page_region[(victim >> lpp) as usize] as usize * ncpus + idx] += 1;
+            }
+            let l2 = caches.l2.access(line, kind);
+            if l2.hit {
+                continue;
+            }
+            result.l2_misses += 1;
+            let llc = caches.llc.access(line, kind);
+            if let Some(victim) = llc.evicted {
+                // Inclusive LLC: back-invalidate inner levels and drop the
+                // victim from the directory's view of this CPU.
+                caches.l1.invalidate(victim);
+                caches.l2.invalidate(victim);
+                let e = &mut directory[victim as usize];
+                e.sharers &= !me_bit;
+                if e.owner == Some(me) {
+                    e.owner = None;
+                }
+                gens[page_region[(victim >> lpp) as usize] as usize * ncpus + idx] += 1;
+            }
+            if !llc.hit {
+                result.llc_misses += 1;
+            }
+            // Record residency. The sharer set grows, so every CPU's view
+            // of this line's region may change.
+            let entry = &mut directory[line as usize];
+            entry.sharers |= me_bit;
+            if write {
+                entry.owner = Some(me);
+            }
+            let b = page_region[(line >> lpp) as usize] as usize * ncpus;
+            for g in &mut gens[b..b + ncpus] {
+                *g += 1;
             }
         }
+
+        // Promotion: a touch that never left the L1 cannot have changed
+        // anything mid-walk, so a verification scan over the region's own
+        // lines can (re-)establish the summary for future touches.
+        let gen_now = gens[region.index() * ncpus + idx];
+        if result.l1_misses == 0 {
+            let region_lines = region_last_line - region_first_line + 1;
+            let s = &mut summaries[idx][region.index()];
+            let wants = !s.is_current(gen_now) || (write && !s.owned);
+            if wants
+                && s.failed_gen != gen_now
+                && region_lines <= cpus[idx].l1.capacity_lines() as u64
+            {
+                let l1 = &cpus[idx].l1;
+                let mut hot = true;
+                let mut owned = true;
+                s.slots.clear();
+                for line in region_first_line..=region_last_line {
+                    let Some(slot) = l1.slot_of(line) else {
+                        hot = false;
+                        break;
+                    };
+                    s.slots.push(slot);
+                    let e = &directory[line as usize];
+                    owned &= e.sharers == me_bit && e.owner == Some(me);
+                }
+                if hot {
+                    s.hot = true;
+                    s.owned = owned;
+                    s.verified_gen = gen_now;
+                } else {
+                    s.hot = false;
+                    s.failed_gen = gen_now;
+                }
+            }
+        }
+
+        // Span promotion: the walk leaves the whole span L1-resident at
+        // the recorded slots when it was all hits (hits cannot evict) or
+        // when the span fits in distinct L1 sets — consecutive lines,
+        // span <= sets — so no fill in this touch can displace an earlier
+        // span line. A write walk additionally privatises every span line
+        // (sharers == {cpu}, owner = cpu), making a repeat write
+        // coherence-free too. Touches that run past the region end are
+        // not claimable: their trailing lines belong to other regions,
+        // whose events bump other summaries. The generation is stamped
+        // after the walk, absorbing bumps the walk's own victims caused;
+        // unclaimable spans leave their claim withdrawn.
+        let s = &mut summaries[idx][region.index()];
+        let c = &mut s.spans[span_idx];
+        c.first = first;
+        c.last = last;
+        c.owned = write;
+        c.slots = span_slots;
+        c.gen = if last <= region_last_line
+            && (result.l1_misses == 0 || result.lines <= cpus[idx].l1.sets() as u64)
+        {
+            gen_now
+        } else {
+            gen_now.wrapping_sub(1)
+        };
+        result
     }
 
     /// Fetches `bytes` of code footprint from `region` at `offset` on
@@ -310,7 +694,13 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if `cpu` is out of range.
-    pub fn code_fetch(&mut self, cpu: CpuId, region: RegionId, offset: u64, bytes: u64) -> FetchResult {
+    pub fn code_fetch(
+        &mut self,
+        cpu: CpuId,
+        region: RegionId,
+        offset: u64,
+        bytes: u64,
+    ) -> FetchResult {
         let mut result = FetchResult::default();
         if bytes == 0 {
             return result;
@@ -321,19 +711,52 @@ impl MemorySystem {
             let r = self.regions.get(region);
             (r.addr(offset), r.addr(offset) + bytes.min(r.size()))
         };
-        let first = self.line_of(start);
-        let last = self.line_of(end.saturating_sub(1));
+        let first = start >> self.line_shift;
+        let last = (end - 1) >> self.line_shift;
+        result.lines = last - first + 1;
+        let lpp = self.page_shift - self.line_shift;
+        result.itlb_misses = probe_pages(&mut self.cpus[idx].itlb, first, last, lpp);
+        let me_bit = 1u32 << idx;
+        let me = idx as u8;
+        let MemorySystem {
+            cpus,
+            directory,
+            page_region,
+            summaries: _,
+            gens,
+            code_summaries,
+            ..
+        } = self;
+        let ncpus = cpus.len();
+
+        // Fast path: the last verified fetch covered exactly this span
+        // with every line in the trace cache. An all-hit fetch touches
+        // neither the directory nor the outer levels, so only the TC's
+        // LRU/hit bookkeeping remains — applied by slot.
+        let cs = &code_summaries[idx][region.index()];
+        if cs.covers(first, last) {
+            cpus[idx].tc.touch_resident_run(&cs.slots, first, false);
+            return result;
+        }
+
+        let caches = &mut cpus[idx];
+        // Reuse the summary's slot buffer to record where each span line
+        // lands, so promotion below costs no extra residency scan. The
+        // summary's old claim dies with its slots (see the walk's end).
+        let mut slot_buf = std::mem::take(&mut code_summaries[idx][region.index()].slots);
+        slot_buf.clear();
         for line in first..=last {
-            result.lines += 1;
-            let page = line >> (self.page_shift - self.line_shift);
-            if !self.cpus[idx].itlb.access(page) {
-                result.itlb_misses += 1;
-            }
-            let caches = &mut self.cpus[idx];
-            if caches.tc.access(line, AccessKind::Read).hit {
+            let tc = caches.tc.access(line, AccessKind::Read);
+            slot_buf.push(tc.slot);
+            if tc.hit {
                 continue;
             }
             result.tc_misses += 1;
+            // The fill may displace another region's code; its span claim
+            // dies with the victim.
+            if let Some(victim) = tc.evicted {
+                code_summaries[idx][page_region[(victim >> lpp) as usize] as usize].bump();
+            }
             if caches.l2.access(line, AccessKind::Read).hit {
                 continue;
             }
@@ -342,13 +765,42 @@ impl MemorySystem {
             if let Some(victim) = llc.evicted {
                 caches.l1.invalidate(victim);
                 caches.l2.invalidate(victim);
-                self.remove_sharer(victim, idx);
+                let e = &mut directory[victim as usize];
+                e.sharers &= !me_bit;
+                if e.owner == Some(me) {
+                    e.owner = None;
+                }
+                gens[page_region[(victim >> lpp) as usize] as usize * ncpus + idx] += 1;
             }
             if !llc.hit {
                 result.llc_misses += 1;
             }
-            self.directory.entry(line).or_default().sharers |= 1 << idx;
+            directory[line as usize].sharers |= me_bit;
+            let b = page_region[(line >> lpp) as usize] as usize * ncpus;
+            for g in &mut gens[b..b + ncpus] {
+                *g += 1;
+            }
         }
+
+        // Promotion: the walk leaves every span line resident at its
+        // recorded slot when either (a) the fetch was all hits (hits
+        // cannot evict), or (b) the span fits in distinct trace-cache
+        // sets — consecutive lines, span <= sets — so no fill in this
+        // fetch can displace an earlier span line, and a resident line
+        // keeps its slot (nothing else touches the TC). The generation is
+        // stamped *after* the walk, absorbing any bumps the walk's own
+        // victims caused. Larger missy spans self-conflict mid-fetch;
+        // their slots are stale, so the claim is explicitly withdrawn
+        // (the buffer was stolen from the summary above).
+        let cs = &mut code_summaries[idx][region.index()];
+        cs.span_first = first;
+        cs.span_last = last;
+        cs.slots = slot_buf;
+        cs.verified_gen = if result.tc_misses == 0 || result.lines <= caches.tc.sets() as u64 {
+            cs.change_gen
+        } else {
+            cs.change_gen.wrapping_sub(1)
+        };
         result
     }
 
@@ -365,13 +817,26 @@ impl MemorySystem {
         };
         let first = self.line_of(start);
         let last = self.line_of(end.saturating_sub(1));
+        let lpp = self.page_shift - self.line_shift;
+        let MemorySystem {
+            cpus,
+            directory,
+            page_region,
+            gens,
+            ..
+        } = self;
+        let ncpus = cpus.len();
         for line in first..=last {
-            for c in &mut self.cpus {
+            for c in cpus.iter_mut() {
                 c.l1.invalidate(line);
                 c.l2.invalidate(line);
                 c.llc.invalidate(line);
             }
-            self.directory.remove(&line);
+            directory[line as usize] = DirEntry::default();
+            let b = page_region[(line >> lpp) as usize] as usize * ncpus;
+            for g in &mut gens[b..b + ncpus] {
+                *g += 1;
+            }
         }
     }
 
@@ -387,14 +852,23 @@ impl MemorySystem {
         };
         let first = self.line_of(start);
         let last = self.line_of(end.saturating_sub(1));
+        let lpp = self.page_shift - self.line_shift;
+        let MemorySystem {
+            cpus,
+            directory,
+            page_region,
+            gens,
+            ..
+        } = self;
+        let ncpus = cpus.len();
         for line in first..=last {
-            if let Some(entry) = self.directory.get_mut(&line) {
-                if let Some(owner) = entry.owner.take() {
-                    let c = &mut self.cpus[owner as usize];
-                    c.l1.clean(line);
-                    c.l2.clean(line);
-                    c.llc.clean(line);
-                }
+            if let Some(owner) = directory[line as usize].owner.take() {
+                let c = &mut cpus[owner as usize];
+                c.l1.clean(line);
+                c.l2.clean(line);
+                c.llc.clean(line);
+                let r_line = page_region[(line >> lpp) as usize] as usize;
+                gens[r_line * ncpus + owner as usize] += 1;
             }
         }
     }
@@ -526,7 +1000,7 @@ mod tests {
         m.data_touch(CPU0, r, 0, 64, true); // CPU0 holds modified
         let c1 = m.data_touch(CPU1, r, 0, 64, false);
         assert_eq!(c1.llc_misses, 1); // CPU1's own hierarchy is cold
-        // CPU0 still has the line (now clean): no miss.
+                                      // CPU0 still has the line (now clean): no miss.
         let c0 = m.data_touch(CPU0, r, 0, 64, false);
         assert_eq!(c0.llc_misses, 0);
     }
@@ -662,5 +1136,127 @@ mod tests {
         };
         f.merge(&f.clone());
         assert_eq!(f.tc_misses, 2);
+    }
+
+    // --- residency fast-path behaviour ---
+
+    /// Drives a region until its summary is established (two touches: the
+    /// first warms, the second is all-hits and triggers the scan).
+    fn warm(m: &mut MemorySystem, cpu: CpuId, r: RegionId, bytes: u64, write: bool) {
+        m.data_touch(cpu, r, 0, bytes, write);
+        let second = m.data_touch(cpu, r, 0, bytes, write);
+        assert_eq!(second.l1_misses, 0, "warm touch should be all hits");
+    }
+
+    #[test]
+    fn fast_path_keeps_counters_and_tlb_stats_exact() {
+        let mut m = sys();
+        let r = m.add_region("ctx", 256); // 4 lines, 1 page
+        warm(&mut m, CPU0, r, 256, false);
+        let (_, before) = m.tlb_stats(CPU0);
+        let hits_before = m.cpus[0].l1.stats().hits;
+        let fast = m.data_touch(CPU0, r, 0, 256, false);
+        assert_eq!(
+            fast,
+            TouchResult {
+                lines: 4,
+                ..TouchResult::default()
+            }
+        );
+        // One page, four lines: four DTLB hits, four L1 hits — identical
+        // to the per-line walk.
+        let (_, after) = m.tlb_stats(CPU0);
+        assert_eq!(after.hits - before.hits, 4);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(m.cpus[0].l1.stats().hits - hits_before, 4);
+    }
+
+    #[test]
+    fn remote_write_breaks_fast_path() {
+        let mut m = sys();
+        let r = m.add_region("ctx", 128);
+        warm(&mut m, CPU0, r, 128, false);
+        m.data_touch(CPU1, r, 0, 128, true);
+        let again = m.data_touch(CPU0, r, 0, 128, false);
+        assert_eq!(
+            again.llc_misses, 2,
+            "invalidation must be visible after fast path"
+        );
+    }
+
+    #[test]
+    fn remote_read_breaks_write_fast_path() {
+        let mut m = sys();
+        let r = m.add_region("ctx", 64);
+        warm(&mut m, CPU0, r, 64, true); // hot + owned
+        m.data_touch(CPU1, r, 0, 64, false); // downgrade + share
+                                             // CPU0's write must go the slow path and invalidate CPU1's copy.
+        let w = m.data_touch(CPU0, r, 0, 64, true);
+        assert_eq!(w.l1_misses, 0);
+        let c1 = m.data_touch(CPU1, r, 0, 64, false);
+        assert_eq!(c1.llc_misses, 1, "CPU1's copy must have been invalidated");
+    }
+
+    #[test]
+    fn eviction_breaks_fast_path() {
+        let mut m = sys(); // tiny l1: 1 KB = 16 lines
+        let small = m.add_region("small", 256);
+        let big = m.add_region("big", 4096);
+        warm(&mut m, CPU0, small, 256, false);
+        // Thrash the L1 so the small region's lines get evicted.
+        m.data_touch(CPU0, big, 0, 4096, false);
+        let again = m.data_touch(CPU0, small, 0, 256, false);
+        assert!(again.l1_misses > 0, "stale summary must not mask L1 misses");
+    }
+
+    #[test]
+    fn dma_write_breaks_fast_path() {
+        let mut m = sys();
+        let r = m.add_region("payload", 128);
+        warm(&mut m, CPU0, r, 128, false);
+        m.dma_write(r, 0, 128);
+        let again = m.data_touch(CPU0, r, 0, 128, false);
+        assert_eq!(
+            again.llc_misses, 2,
+            "DMA write must uncache despite summary"
+        );
+    }
+
+    #[test]
+    fn dma_read_keeps_residency_fast_path() {
+        let mut m = sys();
+        let r = m.add_region("txbuf", 128);
+        warm(&mut m, CPU0, r, 128, true);
+        m.dma_read(r, 0, 128); // takes ownership away, leaves lines cached
+        let again = m.data_touch(CPU0, r, 0, 128, true);
+        assert_eq!(again.l1_misses, 0, "DMA read must not evict");
+        // And a later read stays hot too.
+        assert_eq!(m.data_touch(CPU0, r, 0, 128, false).l1_misses, 0);
+    }
+
+    #[test]
+    fn wrapping_touch_past_region_end_stays_exact() {
+        let mut m = sys();
+        let a = m.add_region("a", 128);
+        let b = m.add_region("b", 128);
+        warm(&mut m, CPU0, b, 128, false);
+        // Touch `a` starting at its last line with a full-size length:
+        // runs past the region end into the following pages.
+        let bleed = m.data_touch(CPU0, a, 64, 128, false);
+        assert_eq!(bleed.lines, 2);
+        // `b`'s lines were untouched; its fast path must still be exact.
+        let again = m.data_touch(CPU0, b, 0, 128, false);
+        assert_eq!(again.l1_misses, 0);
+    }
+
+    #[test]
+    fn fast_path_never_engages_for_regions_larger_than_l1() {
+        let mut m = sys(); // tiny l1: 1 KB
+        let big = m.add_region("big", 2048);
+        m.data_touch(CPU0, big, 0, 2048, false);
+        m.data_touch(CPU0, big, 0, 2048, false);
+        // Lines wrap through the L1; misses must keep being reported.
+        let again = m.data_touch(CPU0, big, 0, 2048, false);
+        assert!(again.l1_misses > 0);
     }
 }

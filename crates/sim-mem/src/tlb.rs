@@ -68,14 +68,42 @@ impl Tlb {
     /// Translates `page`, returning `true` on a hit. A miss installs the
     /// translation (evicting the least recently used entry if full).
     pub fn access(&mut self, page: u64) -> bool {
-        self.clock += 1;
-        if let Some(entry) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            entry.1 = self.clock;
-            self.stats.hits += 1;
+        self.access_n(page, 1)
+    }
+
+    /// Translates `page` `n` times in a row, returning `true` when the
+    /// first probe hits.
+    ///
+    /// Bookkeeping is exactly that of `n` sequential [`Tlb::access`] calls
+    /// to the same page: the LRU clock advances by `n`, the entry ends up
+    /// most recently used, a hit counts `n` hits, and a miss installs the
+    /// translation and counts one miss plus `n - 1` trailing hits (the
+    /// repeat probes hit the just-installed entry). This lets callers
+    /// probe once per *page* when touching a run of lines without any
+    /// observable difference from per-line probing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn access_n(&mut self, page: u64, n: u64) -> bool {
+        assert!(n > 0, "access_n needs at least one probe");
+        // Hot entries are kept at the back (hits move them there), so the
+        // reverse scan usually stops on the first probe. Entry order is
+        // free to change: the match is unique, and eviction goes by the
+        // LRU stamps, which are distinct clock values.
+        if let Some(i) = self.entries.iter().rposition(|(p, _)| *p == page) {
+            self.clock += n;
+            self.stats.hits += n;
+            let last = self.entries.len() - 1;
+            self.entries.swap(i, last);
+            self.entries[last].1 = self.clock;
             return true;
         }
         self.stats.misses += 1;
+        self.stats.hits += n - 1;
         if self.entries.len() == self.capacity {
+            // The eviction choice only depends on the relative LRU order,
+            // which the clock advance cannot change.
             let lru_idx = self
                 .entries
                 .iter()
@@ -85,6 +113,7 @@ impl Tlb {
                 .expect("capacity > 0");
             self.entries.swap_remove(lru_idx);
         }
+        self.clock += n;
         self.entries.push((page, self.clock));
         false
     }
@@ -169,5 +198,49 @@ mod tests {
             t.access(p);
         }
         assert_eq!(t.resident(), 3);
+    }
+
+    /// `access_n(p, n)` must be indistinguishable from `n` sequential
+    /// `access(p)` calls: same stats, same contents, same future behavior.
+    fn assert_batched_matches_sequential(capacity: usize, script: &[(u64, u64)]) {
+        let mut batched = Tlb::new(capacity);
+        let mut sequential = Tlb::new(capacity);
+        for &(page, n) in script {
+            let b = batched.access_n(page, n);
+            let mut first = None;
+            for _ in 0..n {
+                let hit = sequential.access(page);
+                first.get_or_insert(hit);
+            }
+            assert_eq!(Some(b), first, "first-probe outcome for page {page} x{n}");
+            assert_eq!(batched.stats(), sequential.stats());
+            assert_eq!(batched.entries, sequential.entries);
+            assert_eq!(batched.clock, sequential.clock);
+        }
+    }
+
+    #[test]
+    fn batched_probes_match_sequential_probes() {
+        assert_batched_matches_sequential(
+            2,
+            &[(1, 3), (2, 1), (1, 2), (3, 4), (2, 1), (1, 1), (1, 5)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn zero_probe_batch_rejected() {
+        let mut t = Tlb::new(2);
+        let _ = t.access_n(1, 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn batched_equivalence_holds_for_random_scripts(
+            capacity in 1usize..6,
+            script in proptest::collection::vec((0u64..8, 1u64..70), 0..40),
+        ) {
+            assert_batched_matches_sequential(capacity, &script);
+        }
     }
 }

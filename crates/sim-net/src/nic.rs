@@ -151,7 +151,11 @@ impl Nic {
         self.rx_outstanding += 1;
         // Payload lands in the slot's 2 KB buffer; descriptor updated.
         let buf_size = self.config.rx_buffer_bytes / u64::from(self.config.ring_entries);
-        mem.dma_write(self.rx_buffers, u64::from(slot) * buf_size, u64::from(bytes));
+        mem.dma_write(
+            self.rx_buffers,
+            u64::from(slot) * buf_size,
+            u64::from(bytes),
+        );
         mem.dma_write(
             self.rx_ring,
             u64::from(slot) * u64::from(self.config.descriptor_bytes),
@@ -266,7 +270,11 @@ mod tests {
         let cpu = CpuId::new(0);
         // Warm the first RX buffer in CPU0's cache.
         mem.data_touch(cpu, nic.rx_buffers(), 0, 2048, false);
-        assert_eq!(mem.data_touch(cpu, nic.rx_buffers(), 0, 2048, false).llc_misses, 0);
+        assert_eq!(
+            mem.data_touch(cpu, nic.rx_buffers(), 0, 2048, false)
+                .llc_misses,
+            0
+        );
         nic.dma_rx_frame(&mut mem, 1500);
         let after = mem.data_touch(cpu, nic.rx_buffers(), 0, 1500, false);
         assert!(after.llc_misses > 0, "DMA'd payload must be uncached");

@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use sim_core::{ConnectionId, DeviceId, IrqVector, SimRng};
+use sim_mem::{MemoryConfig, MemorySystem};
 use sim_net::wire::{segment_count, segments_for};
 use sim_net::{Nic, NicConfig, Peer, PeerConfig};
-use sim_mem::{MemoryConfig, MemorySystem};
 
 proptest! {
     /// Segmentation conserves bytes and respects the MSS for any

@@ -81,7 +81,9 @@ impl IoApic {
     /// its mask (static IO-APIC mode — no rotation).
     #[must_use]
     pub fn route(&self, vector: IrqVector) -> CpuId {
-        self.affinity(vector).first().expect("mask validated non-empty")
+        self.affinity(vector)
+            .first()
+            .expect("mask validated non-empty")
     }
 
     /// Routes and records a delivery (for `/proc/interrupts`-style
@@ -126,7 +128,8 @@ mod tests {
     fn affinity_redirects() {
         let mut apic = IoApic::new(2);
         let v = IrqVector::new(0x1b);
-        apic.set_affinity(v, CpuMask::single(CpuId::new(1))).unwrap();
+        apic.set_affinity(v, CpuMask::single(CpuId::new(1)))
+            .unwrap();
         assert_eq!(apic.route(v), CpuId::new(1));
         // Others unaffected.
         assert_eq!(apic.route(IrqVector::new(0x19)), CpuId::new(0));

@@ -233,7 +233,12 @@ impl Scheduler {
     /// # Errors
     ///
     /// Returns [`SimError::UnknownId`] for a bad task id.
-    pub fn wake(&mut self, task: TaskId, from_cpu: CpuId, wake_affine: bool) -> Result<WakePlacement> {
+    pub fn wake(
+        &mut self,
+        task: TaskId,
+        from_cpu: CpuId,
+        wake_affine: bool,
+    ) -> Result<WakePlacement> {
         let (state, last_cpu, affinity) = {
             let t = self.task(task)?;
             (t.state, t.last_cpu, t.affinity)

@@ -17,6 +17,10 @@ pub struct Profiler {
     cpus: usize,
     /// `matrix[cpu][func]`, grown on demand as functions register.
     matrix: Vec<Vec<PerfCounters>>,
+    /// Running per-CPU cycle totals, maintained by [`Profiler::record`] so
+    /// hot callers (machine-clear attribution draws every interrupt) don't
+    /// re-sum a whole matrix row.
+    cycles_on: Vec<u64>,
 }
 
 impl Profiler {
@@ -31,6 +35,7 @@ impl Profiler {
         Profiler {
             cpus,
             matrix: vec![Vec::new(); cpus],
+            cycles_on: vec![0; cpus],
         }
     }
 
@@ -54,7 +59,19 @@ impl Profiler {
     ///
     /// Panics if `cpu` is out of range.
     pub fn record(&mut self, cpu: CpuId, func: FuncId, delta: &PerfCounters) {
+        self.cycles_on[cpu.index()] += delta.cycles;
         *self.slot(cpu, func) += *delta;
+    }
+
+    /// Total cycles recorded on `cpu` — equal to
+    /// `cpu_total(cpu).cycles`, but O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    #[must_use]
+    pub fn cpu_cycles(&self, cpu: CpuId) -> u64 {
+        self.cycles_on[cpu.index()]
     }
 
     /// Counters for `func` on `cpu` (zero if never recorded).
@@ -112,7 +129,12 @@ impl Profiler {
     ///
     /// Panics if `cpu` is out of range.
     #[must_use]
-    pub fn group_total_on(&self, registry: &FunctionRegistry, group: &str, cpu: CpuId) -> PerfCounters {
+    pub fn group_total_on(
+        &self,
+        registry: &FunctionRegistry,
+        group: &str,
+        cpu: CpuId,
+    ) -> PerfCounters {
         registry
             .functions_in(group)
             .into_iter()
@@ -140,6 +162,7 @@ impl Profiler {
                 *c = PerfCounters::default();
             }
         }
+        self.cycles_on.fill(0);
     }
 }
 
@@ -172,6 +195,8 @@ mod tests {
         assert_eq!(p.counters(c1, f1).cycles, 0);
         assert_eq!(p.func_total(f0).cycles, 130);
         assert_eq!(p.cpu_total(c0).cycles, 150);
+        assert_eq!(p.cpu_cycles(c0), p.cpu_total(c0).cycles);
+        assert_eq!(p.cpu_cycles(c1), p.cpu_total(c1).cycles);
         assert_eq!(p.total().cycles, 200);
         assert_eq!(p.total().llc_misses, 3);
         assert_eq!(p.group_total(&reg, "Engine").cycles, 150);
@@ -223,6 +248,7 @@ mod tests {
         p.record(CpuId::new(0), f, &delta(5, 0));
         p.reset();
         assert!(p.total().is_empty());
+        assert_eq!(p.cpu_cycles(CpuId::new(0)), 0);
     }
 
     #[test]

@@ -65,7 +65,8 @@ impl FunctionRegistry {
         let group = group.into();
         if let Some(&id) = self.by_name.get(&name) {
             assert_eq!(
-                self.entries[id.index()].group, group,
+                self.entries[id.index()].group,
+                group,
                 "function {name} re-registered under a different group"
             );
             return id;

@@ -139,7 +139,14 @@ mod tests {
         d.bump(HwEvent::Cycles, 1000);
         p.record(cpu, f2, &d);
 
-        let rows = symbol_report(&p, &reg, cpu, HwEvent::MachineClear, SampleView::new(10), 10);
+        let rows = symbol_report(
+            &p,
+            &reg,
+            cpu,
+            HwEvent::MachineClear,
+            SampleView::new(10),
+            10,
+        );
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].symbol, "tcp_sendmsg");
         assert_eq!(rows[0].count, 60);

@@ -238,9 +238,7 @@ impl StackConfig {
             return Err(SimError::config("ack_every must be positive"));
         }
         if self.initial_cwnd == 0 || self.initial_cwnd > self.max_cwnd {
-            return Err(SimError::config(
-                "initial_cwnd must be in 1..=max_cwnd",
-            ));
+            return Err(SimError::config("initial_cwnd must be in 1..=max_cwnd"));
         }
         if !(0.0..=1.0).contains(&self.cross_cpu_contention) {
             return Err(SimError::config("cross_cpu_contention must be in [0,1]"));
@@ -301,6 +299,9 @@ mod tests {
         // rep movl: one architectural instruction moves many bytes.
         let c = StackConfig::paper();
         let instr = c.copy_to_user.instructions(65536);
-        assert!(instr < 6000, "rep-movl model retires few instructions, got {instr}");
+        assert!(
+            instr < 6000,
+            "rep-movl model retires few instructions, got {instr}"
+        );
     }
 }

@@ -147,7 +147,13 @@ mod tests {
     fn fresh_state_is_empty() {
         let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
         let dma = mem.add_region("d", 1024);
-        let c = ConnState::new(ConnectionId::new(0), &mut mem, &StackConfig::paper(), dma, 128);
+        let c = ConnState::new(
+            ConnectionId::new(0),
+            &mut mem,
+            &StackConfig::paper(),
+            dma,
+            128,
+        );
         assert!(c.rx_queue.is_empty());
         assert_eq!(c.rx_queue_bytes, 0);
         assert_eq!(c.tx_inflight, 0);

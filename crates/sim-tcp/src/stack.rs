@@ -137,7 +137,13 @@ impl TcpStack {
             tcp_sendmsg: reg(r, c, mem, "tcp_sendmsg", &config.tcp_sendmsg),
             tcp_transmit_skb: reg(r, c, mem, "tcp_transmit_skb", &config.tcp_transmit_skb),
             tcp_v4_rcv: reg(r, c, mem, "tcp_v4_rcv", &config.tcp_v4_rcv),
-            tcp_rcv_established: reg(r, c, mem, "tcp_rcv_established", &config.tcp_rcv_established),
+            tcp_rcv_established: reg(
+                r,
+                c,
+                mem,
+                "tcp_rcv_established",
+                &config.tcp_rcv_established,
+            ),
             tcp_select_window: reg(r, c, mem, "__tcp_select_window", &config.tcp_select_window),
             tcp_connect: reg(r, c, mem, "tcp_v4_connect", &config.tcp_connect),
             tcp_retransmit: reg(r, c, mem, "tcp_retransmit_skb", &config.tcp_retransmit),
@@ -320,13 +326,16 @@ impl TcpStack {
             .code(self.code[&self.ids.lock_section], 128)
             .touch(DataTouch::write(sock, 0, 64));
         let touch_out = ctx.core.execute(ctx.mem, &touch_item);
-        let mut delta = PerfCounters::default();
-        delta.instructions = acq.instructions;
-        delta.branches = acq.branches;
-        delta.br_mispredicts = acq.mispredicts;
-        delta.cycles = acq.cycles;
+        let delta = PerfCounters {
+            instructions: acq.instructions,
+            branches: acq.branches,
+            br_mispredicts: acq.mispredicts,
+            cycles: acq.cycles,
+            ..PerfCounters::default()
+        };
         ctx.core.apply_counters(&delta);
-        ctx.prof.record(ctx.core.id(), self.ids.lock_section, &delta);
+        ctx.prof
+            .record(ctx.core.id(), self.ids.lock_section, &delta);
         ctx.prof
             .record(ctx.core.id(), self.ids.lock_section, &touch_out.counters);
         acq.cycles + touch_out.cycles
@@ -430,7 +439,11 @@ impl TcpStack {
                     seg_bytes,
                 )
                 .touch(DataTouch::read(regions.tx_app_buf, app_offset, seg_bytes))
-                .touch(DataTouch::write(regions.skb_data, cursor % data_window, seg_bytes));
+                .touch(DataTouch::write(
+                    regions.skb_data,
+                    cursor % data_window,
+                    seg_bytes,
+                ));
             self.run(ctx, self.ids.csum_copy_from_user, item);
             self.conns[ci].skb_data_cursor = cursor + seg_bytes;
 
@@ -478,7 +491,11 @@ impl TcpStack {
     ) -> u64 {
         let regions = self.conns[conn.index()].regions;
         let item = self
-            .item(&self.config.e1000_xmit, self.ids.e1000_xmit, u64::from(seg_bytes))
+            .item(
+                &self.config.e1000_xmit,
+                self.ids.e1000_xmit,
+                u64::from(seg_bytes),
+            )
             .touch(DataTouch::write(tx_ring, ring_slot * 16, 16))
             .touch(DataTouch::read(regions.skb_meta, ring_slot % 64 * 256, 64));
         self.run(ctx, self.ids.e1000_xmit, item)
@@ -539,7 +556,11 @@ impl TcpStack {
             let slot = self.conns[ci].meta_free_cursor % self.config.skb_meta_bytes;
             self.conns[ci].meta_free_cursor += 256;
             let item = self
-                .item(&self.config.kfree_skb, self.ids.kfree_skb, u64::from(self.config.mss))
+                .item(
+                    &self.config.kfree_skb,
+                    self.ids.kfree_skb,
+                    u64::from(self.config.mss),
+                )
                 .touch(DataTouch::write(regions.skb_meta, slot, 128));
             cycles += self.run(ctx, self.ids.kfree_skb, item);
         }
@@ -633,10 +654,18 @@ impl TcpStack {
         self.conns[ci].congestion.on_timeout();
         let mut cycles = self.acquire_lock(ctx, ci, cross_cpu);
         let item = self
-            .item(&self.config.tcp_retransmit, self.ids.tcp_retransmit, u64::from(seg_bytes))
+            .item(
+                &self.config.tcp_retransmit,
+                self.ids.tcp_retransmit,
+                u64::from(seg_bytes),
+            )
             .touch(DataTouch::read(regions.tcp_ctx, 0, 768))
             .touch(DataTouch::write(regions.tcp_ctx, 512, 256))
-            .touch(DataTouch::read(regions.skb_data, self.conns[ci].skb_data_cursor, u64::from(seg_bytes)));
+            .touch(DataTouch::read(
+                regions.skb_data,
+                self.conns[ci].skb_data_cursor,
+                u64::from(seg_bytes),
+            ));
         cycles += self.run(ctx, self.ids.tcp_retransmit, item);
         let item = self
             .item(&self.config.mod_timer, self.ids.mod_timer, 0)
@@ -708,7 +737,11 @@ impl TcpStack {
                 .touch(DataTouch::write(regions.tcp_ctx, 384, 128));
             outcome.cycles += self.run(ctx, self.ids.tcp_v4_rcv, item);
             let item = self
-                .item(&self.config.tcp_rcv_established, self.ids.tcp_rcv_established, fb)
+                .item(
+                    &self.config.tcp_rcv_established,
+                    self.ids.tcp_rcv_established,
+                    fb,
+                )
                 .touch(DataTouch::read(regions.tcp_ctx, 0, 1536))
                 .touch(DataTouch::write(regions.tcp_ctx, 0, 768));
             outcome.cycles += self.run(ctx, self.ids.tcp_rcv_established, item);
@@ -729,7 +762,11 @@ impl TcpStack {
             if self.conns[ci].frames_since_ack >= self.config.ack_every {
                 self.conns[ci].frames_since_ack = 0;
                 let item = self
-                    .item(&self.config.tcp_select_window, self.ids.tcp_select_window, 0)
+                    .item(
+                        &self.config.tcp_select_window,
+                        self.ids.tcp_select_window,
+                        0,
+                    )
                     .touch(DataTouch::read(regions.tcp_ctx, 0, 192));
                 outcome.cycles += self.run(ctx, self.ids.tcp_select_window, item);
                 let item = self
@@ -815,7 +852,11 @@ impl TcpStack {
         // window: it reads and dirties the control block from process
         // context — the other half of the RX ping-pong.
         let item = self
-            .item(&self.config.tcp_select_window, self.ids.tcp_select_window, 0)
+            .item(
+                &self.config.tcp_select_window,
+                self.ids.tcp_select_window,
+                0,
+            )
             .touch(DataTouch::read(regions.tcp_ctx, 0, 1024))
             .touch(DataTouch::write(regions.tcp_ctx, 768, 512));
         self.run(ctx, self.ids.tcp_select_window, item);
@@ -923,7 +964,14 @@ mod tests {
         };
         h.stack.sendmsg(&mut ctx, CONN, 65536, false);
         let reg = h.stack.registry();
-        for bin in ["Interface", "Engine", "Buf Mgmt", "Copies", "Locks", "Timers"] {
+        for bin in [
+            "Interface",
+            "Engine",
+            "Buf Mgmt",
+            "Copies",
+            "Locks",
+            "Timers",
+        ] {
             let c = h.prof.group_total(reg, bin);
             assert!(c.cycles > 0, "bin {bin} got no cycles");
         }
@@ -1028,7 +1076,9 @@ mod tests {
             prof: &mut h.prof,
             rng: &mut h.rng,
         };
-        let first = h.stack.rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
+        let first = h
+            .stack
+            .rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
         assert!(first.wake_consumer);
         let mut ctx = ExecCtx {
             core: &mut h.core,
@@ -1036,7 +1086,9 @@ mod tests {
             prof: &mut h.prof,
             rng: &mut h.rng,
         };
-        let second = h.stack.rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
+        let second = h
+            .stack
+            .rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
         assert!(!second.wake_consumer, "queue already non-empty");
     }
 
@@ -1050,7 +1102,8 @@ mod tests {
             prof: &mut h.prof,
             rng: &mut h.rng,
         };
-        h.stack.rx_bottom_half(&mut ctx, CONN, &[1448, 1448], rx_ring, false);
+        h.stack
+            .rx_bottom_half(&mut ctx, CONN, &[1448, 1448], rx_ring, false);
         let big_timers = h.prof.group_total(h.stack.registry(), "Timers").cycles;
         let mut h2 = harness();
         let rx_ring2 = h2.rx_ring;
@@ -1060,7 +1113,8 @@ mod tests {
             prof: &mut h2.prof,
             rng: &mut h2.rng,
         };
-        h2.stack.rx_bottom_half(&mut ctx, CONN, &[128, 128], rx_ring2, false);
+        h2.stack
+            .rx_bottom_half(&mut ctx, CONN, &[128, 128], rx_ring2, false);
         let small_timers = h2.prof.group_total(h2.stack.registry(), "Timers").cycles;
         assert!(
             big_timers > small_timers * 4,
@@ -1084,7 +1138,8 @@ mod tests {
             // Simulate the DMA that precedes the bottom half.
             let dma = h.stack.regions(CONN).rx_dma_buf;
             ctx.mem.dma_write(dma, round * 1448, 1448);
-            h.stack.rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
+            h.stack
+                .rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
             let mut ctx = ExecCtx {
                 core: &mut h.core,
                 mem: &mut h.mem,
@@ -1129,7 +1184,8 @@ mod tests {
             prof: &mut h.prof,
             rng: &mut h.rng,
         };
-        h.stack.tx_complete(&mut ctx, CONN, tx_ring, segs.len() as u32);
+        h.stack
+            .tx_complete(&mut ctx, CONN, tx_ring, segs.len() as u32);
         assert_eq!(h.stack.tx_inflight(CONN), 0);
         let driver = h.prof.group_total(h.stack.registry(), "Driver").cycles;
         assert!(driver > 0);

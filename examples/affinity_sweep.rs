@@ -20,18 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("== {direction} ==");
         println!(
             "{:>8} | {:>22} | {:>22} | {:>22} | {:>22}",
-            "size",
-            "No Aff (Mb/s, cost)",
-            "Proc Aff",
-            "IRQ Aff",
-            "Full Aff"
+            "size", "No Aff (Mb/s, cost)", "Proc Aff", "IRQ Aff", "Full Aff"
         );
         for &size in &sizes {
             print!("{size:>8}");
             for mode in AffinityMode::ALL {
                 let mut config = ExperimentConfig::paper_sut(direction, size, mode);
-                config.workload.measure_messages =
-                    (512 * 1024 / size).clamp(12, 400) as u32;
+                config.workload.measure_messages = (512 * 1024 / size).clamp(12, 400) as u32;
                 config.workload.warmup_messages = (config.workload.measure_messages / 3).max(4);
                 let m = run_experiment(&config)?.metrics;
                 print!(

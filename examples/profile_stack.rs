@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.workload.measure_messages = 240;
         let result = run_experiment(&config)?;
 
-        println!("== TX 128B, {} — top symbols by {} ==", mode.label(), event.label());
+        println!(
+            "== TX 128B, {} — top symbols by {} ==",
+            mode.label(),
+            event.label()
+        );
         for c in 0..result.config.cpus {
             let cpu = CpuId::new(c as u32);
             println!("CPU {c}:");

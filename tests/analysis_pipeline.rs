@@ -12,7 +12,7 @@ use sim_cpu::{EventCosts, HwEvent};
 use sim_tcp::Bin;
 
 fn pair(direction: Direction, size: u64) -> (RunResult, RunResult) {
-    let mut make = |mode| {
+    let make = |mode| {
         let mut c = ExperimentConfig::paper_sut(direction, size, mode);
         c.workload.warmup_messages = 6;
         c.workload.measure_messages = 14;

@@ -1,6 +1,62 @@
 //! Whole-machine determinism and seed-sensitivity guarantees.
 
-use affinity_repro::{run_experiment, AffinityMode, Direction, ExperimentConfig};
+use affinity_repro::{run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics};
+
+/// One golden cell: fixed seed and fixed message counts, deliberately
+/// independent of the bench harness's count-scaling so the snapshot only
+/// moves when simulation *semantics* move.
+fn golden_cell(direction: Direction, size: u64, mode: AffinityMode) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_sut(direction, size, mode).with_seed(0x5EED);
+    config.workload.warmup_messages = 6;
+    config.workload.measure_messages = 18;
+    config
+}
+
+/// Renders every field of the metrics (scalars, per-CPU vectors, the full
+/// event-counter bank, per-bin counters) into one stable line.
+fn snapshot_line(label: &str, m: &RunMetrics) -> String {
+    format!("{label}: {m:?}")
+}
+
+/// Guards the optimization work on the memory/coherence hot path: results
+/// must stay bit-identical to the snapshot captured *before* the flat
+/// directory, batched touches, and residency fast path landed.
+///
+/// Regenerate (only for a deliberate semantic change) with:
+/// `AFFSIM_BLESS=1 cargo test --test determinism golden`.
+#[test]
+fn results_match_committed_golden_snapshot() {
+    let mut lines = Vec::new();
+    for &(dir, size) in &[
+        (Direction::Tx, 65536),
+        (Direction::Tx, 128),
+        (Direction::Rx, 65536),
+        (Direction::Rx, 128),
+    ] {
+        for mode in [AffinityMode::None, AffinityMode::Full] {
+            let label = format!("{dir} {size}B {}", mode.label());
+            let run = run_experiment(&golden_cell(dir, size, mode)).unwrap();
+            lines.push(snapshot_line(&label, &run.metrics));
+        }
+    }
+    let rendered = format!("{}\n", lines.join("\n"));
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/pre_optimization.snap"
+    );
+    if std::env::var_os("AFFSIM_BLESS").is_some() {
+        std::fs::write(path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect("committed golden snapshot");
+    for (got, want) in rendered.lines().zip(expected.lines()) {
+        assert_eq!(
+            got, want,
+            "simulation results diverged from the golden snapshot"
+        );
+    }
+    assert_eq!(rendered, expected, "golden snapshot line count changed");
+}
 
 #[test]
 fn identical_configs_give_identical_results() {
@@ -52,7 +108,10 @@ fn modes_actually_differ() {
     };
     let no = make(AffinityMode::None);
     let full = make(AffinityMode::Full);
-    assert_ne!(no.wall_cycles, full.wall_cycles, "modes should not be identical");
+    assert_ne!(
+        no.wall_cycles, full.wall_cycles,
+        "modes should not be identical"
+    );
     assert_ne!(no.total.machine_clears, full.total.machine_clears);
 }
 

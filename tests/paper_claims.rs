@@ -2,9 +2,7 @@
 //! simulated substrate (weak/shape assertions — exact magnitudes are
 //! recorded in EXPERIMENTS.md from release-mode runs).
 
-use affinity_repro::{
-    run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics,
-};
+use affinity_repro::{run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics};
 use sim_tcp::Bin;
 
 fn run(direction: Direction, size: u64, mode: AffinityMode) -> RunMetrics {
@@ -71,7 +69,10 @@ fn machine_clears_drop_under_full_affinity() {
 #[test]
 fn full_affinity_eliminates_resched_ipis() {
     let full = run(Direction::Rx, 65536, AffinityMode::Full);
-    assert_eq!(full.resched_ipis, 0, "pinned colocated tasks never need IPIs");
+    assert_eq!(
+        full.resched_ipis, 0,
+        "pinned colocated tasks never need IPIs"
+    );
     let no = run(Direction::Rx, 65536, AffinityMode::None);
     let _ = no; // no-affinity may or may not IPI in a short window
 }
@@ -94,7 +95,12 @@ fn rx_is_more_memory_bound_than_tx() {
     // "TX generally has lower CPIs and MPIs than RX."
     let tx = run(Direction::Tx, 65536, AffinityMode::None);
     let rx = run(Direction::Rx, 65536, AffinityMode::None);
-    assert!(rx.total.cpi() > tx.total.cpi(), "rx {} tx {}", rx.total.cpi(), tx.total.cpi());
+    assert!(
+        rx.total.cpi() > tx.total.cpi(),
+        "rx {} tx {}",
+        rx.total.cpi(),
+        tx.total.cpi()
+    );
     assert!(rx.total.mpi() > tx.total.mpi());
 }
 

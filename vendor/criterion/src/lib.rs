@@ -1,0 +1,128 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's containers build without network access, so the real
+//! criterion cannot be fetched. This stub keeps `cargo bench` working:
+//! every `bench_function` runs a short warm-up plus a fixed number of
+//! timed iterations and prints the mean wall time per iteration, which is
+//! enough to compare substrate revisions by hand. There is no statistical
+//! analysis, HTML report, or saved baseline.
+
+use std::time::{Duration, Instant};
+
+/// Top-level bench driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    // One warm-up pass, then the timed samples.
+    f(&mut b);
+    b.iterations = 0;
+    b.elapsed = Duration::ZERO;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let mean = if b.iterations == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / u32::try_from(b.iterations).unwrap_or(u32::MAX)
+    };
+    println!(
+        "bench {id:<50} {:>12.3?}/iter ({} iters)",
+        mean, b.iterations
+    );
+}
+
+/// Per-benchmark timing context, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one closure invocation and accumulates it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        drop(out);
+    }
+}
+
+/// Prevents the optimizer from discarding a value (std re-export).
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

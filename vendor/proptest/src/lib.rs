@@ -1,0 +1,299 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace's containers build without network access, so the real
+//! proptest cannot be fetched. This stub implements a *working* (if
+//! minimal) property-testing engine over the strategy surface the
+//! workspace's tests actually use: integer/float ranges, `any::<T>()`,
+//! tuples of strategies, and `prop::collection::vec`. Each `#[test]`
+//! inside a [`proptest!`] block runs a fixed number of deterministic
+//! cases seeded from the test's name, so failures reproduce exactly.
+//!
+//! `prop_assert!`/`prop_assert_eq!` forward to the std assertion macros:
+//! unlike real proptest there is no input shrinking, but a failing case
+//! still reports the generated values via the assertion message.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator used for value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a fixed seed.
+        #[must_use]
+        pub fn deterministic(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (modulo bias is acceptable here).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let width = (self.end as i128 - self.start as i128).max(1) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing a constant value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain generation strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The whole-domain strategy for `T`, as in `any::<u64>()`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with element strategy and length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vector strategy: `vec(0u64..100, 1..40)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace the prelude exposes (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Number of cases each property runs (fixed; cases are deterministic).
+pub const CASES: u32 = 64;
+
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic({
+                        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                        for b in stringify!($name).bytes() {
+                            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+                        }
+                        h ^ u64::from(__case).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    });
+                    $crate::__proptest_bindings!(__rng, $($args)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bindings {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bindings!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bindings!($rng, $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -5i32..5, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_len_in_range(v in prop::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0usize..4, any::<bool>()), seed: u64) {
+            prop_assert!(pair.0 < 4);
+            let _ = (pair.1, seed);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic(7);
+        let mut b = crate::test_runner::TestRng::deterministic(7);
+        let s = crate::prop::collection::vec(0u64..100, 1..20);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

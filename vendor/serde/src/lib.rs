@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in containers with no network access, so the real
+//! serde cannot be fetched. Nothing in the workspace actually serializes —
+//! the `#[derive(Serialize, Deserialize)]` attributes exist so downstream
+//! consumers *could* persist simulator state — so this stub provides the
+//! two trait names and derive macros that expand to nothing. Swapping the
+//! `[patch.crates-io]` entry back to the real serde is a no-op for the
+//! simulator's behaviour.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Namespace stand-in so `serde::de::...` paths resolve if ever needed.
+pub mod de {
+    pub use super::Deserialize;
+}
+
+/// Namespace stand-in so `serde::ser::...` paths resolve if ever needed.
+pub mod ser {
+    pub use super::Serialize;
+}
