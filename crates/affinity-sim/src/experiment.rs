@@ -110,8 +110,13 @@ impl Default for Tunables {
 pub struct ExperimentConfig {
     /// Number of CPUs (the paper's SUT has 2; §5 mentions 4P runs).
     pub cpus: usize,
-    /// Number of NIC ports = connections = `ttcp` processes.
+    /// Number of NIC ports (interrupt vectors / DMA engines).
     pub nics: usize,
+    /// Number of TCP connections (flows) = `ttcp` processes. The paper's
+    /// SUT runs one flow per NIC; the scale sweep multiplexes many flows
+    /// onto each NIC — round-robin (`flow % nics`) in the Figure 3
+    /// modes, hash-steered under [`AffinityMode::Rss`].
+    pub connections: usize,
     /// Affinity mode under test.
     pub mode: AffinityMode,
     /// The `ttcp` workload.
@@ -137,6 +142,7 @@ impl ExperimentConfig {
         ExperimentConfig {
             cpus: 2,
             nics: 8,
+            connections: 8,
             mode,
             workload: Workload::steady_state(direction, message_bytes),
             seed: 0x5EED,
@@ -154,6 +160,28 @@ impl ExperimentConfig {
         let mut config = ExperimentConfig::paper_sut(direction, message_bytes, mode);
         config.cpus = 4;
         config.mem = MemoryConfig::paper_sut(4);
+        config
+    }
+
+    /// A scaled-up SUT: `cpus` CPUs each owning one NIC queue (so
+    /// `nics == cpus`), carrying `flows` connections. Round-robin
+    /// flow→queue assignment in the Figure 3 modes; hash steering under
+    /// [`AffinityMode::Rss`]. Message counts are the quick-run defaults —
+    /// the sweep multiplies work by the flow count already.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is outside `1..=64` or `flows` is zero.
+    #[must_use]
+    pub fn scale(direction: Direction, cpus: usize, flows: usize, mode: AffinityMode) -> Self {
+        assert!((1..=64).contains(&cpus), "scale supports 1..=64 CPUs");
+        assert!(flows > 0, "need at least one flow");
+        let mut config = ExperimentConfig::paper_sut(direction, 4096, mode);
+        config.cpus = cpus;
+        config.nics = cpus;
+        config.connections = flows;
+        config.mem = MemoryConfig::paper_sut(cpus);
+        config.workload = config.workload.quick();
         config
     }
 
@@ -288,5 +316,36 @@ mod tests {
         let r = run_experiment(&config).unwrap();
         assert_eq!(r.metrics.busy_cycles.len(), 4);
         assert!(r.metrics.messages > 0);
+    }
+
+    #[test]
+    fn scale_config_shape() {
+        let c = ExperimentConfig::scale(Direction::Rx, 16, 256, AffinityMode::Rss);
+        assert_eq!(c.cpus, 16);
+        assert_eq!(c.nics, 16);
+        assert_eq!(c.connections, 256);
+        assert_eq!(c.mode, AffinityMode::Rss);
+    }
+
+    #[test]
+    fn scale_run_with_more_flows_than_nics_completes() {
+        for mode in [AffinityMode::Full, AffinityMode::Rss] {
+            let mut config = ExperimentConfig::scale(Direction::Rx, 2, 6, mode);
+            config.workload.warmup_messages = 2;
+            config.workload.measure_messages = 3;
+            let r = run_experiment(&config).unwrap();
+            assert_eq!(r.metrics.messages, 3 * 6, "{mode}");
+            assert!(r.metrics.throughput_gbps() > 0.0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn scale_runs_are_deterministic() {
+        let mut config = ExperimentConfig::scale(Direction::Tx, 4, 12, AffinityMode::Rss);
+        config.workload.warmup_messages = 2;
+        config.workload.measure_messages = 3;
+        let a = run_experiment(&config).unwrap();
+        let b = run_experiment(&config).unwrap();
+        assert_eq!(a.metrics, b.metrics);
     }
 }

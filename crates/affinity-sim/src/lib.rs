@@ -45,11 +45,13 @@ mod experiment;
 mod machine;
 mod metrics;
 mod mode;
+mod ready;
 pub mod report;
 mod workload;
 
 pub use experiment::{run_experiment, ExperimentConfig, RunResult};
-pub use machine::Machine;
+pub use machine::{should_trace, Machine};
 pub use metrics::{BinBreakdown, RunMetrics};
 pub use mode::AffinityMode;
+pub use ready::ReadyCpus;
 pub use workload::{Direction, Workload, PAPER_SIZES};

@@ -1,10 +1,12 @@
 //! The simulated system under test and its run loop.
 //!
 //! [`Machine`] wires the substrates into the paper's testbed: *N* CPUs
-//! sharing a coherent memory system, 8 NIC ports each carrying one
-//! long-lived `ttcp` connection, an IO-APIC routing the 8 interrupt
-//! vectors (named `0x19`–`0x27` as in the paper's Table 4), the
-//! scheduler, the IPI fabric and the modelled TCP stack.
+//! sharing a coherent memory system, NIC ports carrying long-lived
+//! `ttcp` connections (one flow per port on the paper's 8-NIC SUT; many
+//! flows per port in the scale sweep, round-robin or RSS-hash steered),
+//! an IO-APIC routing the interrupt vectors (named `0x19`–`0x27` as in
+//! the paper's Table 4), the scheduler, the IPI fabric and the modelled
+//! TCP stack.
 //!
 //! The run loop is a conservative discrete-event simulation: each CPU
 //! has a local clock advanced by the work it executes; device-side
@@ -28,7 +30,18 @@ use sim_tcp::{Bin, ExecCtx, TcpStack};
 
 use crate::experiment::ExperimentConfig;
 use crate::metrics::{BinBreakdown, RunMetrics};
+use crate::ready::ReadyCpus;
 use crate::workload::Direction;
+
+/// True when run-loop iteration `guard` should emit a trace line: every
+/// power of two (dense coverage early, when wedges usually happen) plus
+/// every 200k iterations (steady cadence late). `guard = 0` is quiet —
+/// the old `guard & (guard - 1) == 0` form mis-fired there, tracing an
+/// iteration that never ran.
+#[must_use]
+pub fn should_trace(guard: u64) -> bool {
+    guard.is_power_of_two() || (guard > 0 && guard.is_multiple_of(200_000))
+}
 
 /// The paper's NIC interrupt vectors (Table 4), reused cyclically for
 /// machines with more than eight NICs.
@@ -36,16 +49,16 @@ pub const PAPER_VECTORS: [u32; 8] = [0x19, 0x1a, 0x1b, 0x1d, 0x23, 0x24, 0x25, 0
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
-    /// A data frame from the peer arrives at a NIC (RX workload).
-    FrameArrival { nic: usize, bytes: u32 },
-    /// A peer ACK arrives at a NIC (TX workload).
-    AckArrival { nic: usize, acked: u32 },
-    /// The NIC transmits one queued frame (TX workload).
-    WireTx { nic: usize, bytes: u32 },
-    /// Interrupt-moderation timer for a NIC.
+    /// A data frame from the peer arrives for a flow (RX workload).
+    FrameArrival { flow: usize, bytes: u32 },
+    /// A peer ACK arrives for a flow (TX workload).
+    AckArrival { flow: usize, acked: u32 },
+    /// The flow's NIC transmits one queued frame (TX workload).
+    WireTx { flow: usize, bytes: u32 },
+    /// Interrupt-moderation timer for a NIC port.
     CoalesceFlush { nic: usize, armed_at: u64 },
-    /// Retransmission timeout for a lost frame.
-    RtoFire { nic: usize, bytes: u32 },
+    /// Retransmission timeout for a lost frame of a flow.
+    RtoFire { flow: usize, bytes: u32 },
     /// Linux 2.6-style periodic interrupt rotation.
     IrqRotate,
     /// Periodic scheduler load balancing.
@@ -86,23 +99,37 @@ pub struct Machine {
     rng: SimRng,
     events: EventQueue<Event>,
     vectors: Vec<IrqVector>,
+    ready: ReadyCpus,
 
     tasks: Vec<TaskRun>,
     task_of_conn: Vec<usize>,
     last_task_on: Vec<Option<TaskId>>,
     run_since_sched: Vec<u64>,
 
-    nic_rx_pending: Vec<Vec<u32>>,
-    nic_ack_pending: Vec<u32>,
-    nic_ack_frames: Vec<u32>,
-    nic_txdone_pending: Vec<u32>,
-    nic_activity: Vec<u64>,
-    flush_armed: Vec<bool>,
+    /// NIC port carrying each flow: round-robin (`flow % nics`) in the
+    /// paper's modes (identity when `connections == nics`, the paper
+    /// SUT), RSS-hashed under [`AffinityMode::Rss`](crate::AffinityMode).
+    flow_nic: Vec<usize>,
+    /// Flows of each NIC port, ascending — bottom halves drain a port's
+    /// flows in this order.
+    nic_flows: Vec<Vec<usize>>,
+
+    // Per-flow state.
+    flow_rx_pending: Vec<Vec<u32>>,
+    flow_ack_pending: Vec<u32>,
+    flow_ack_frames: Vec<u32>,
+    flow_txdone_pending: Vec<u32>,
+    /// Wire transmission cursor per flow (each flow models its own NIC
+    /// queue's bandwidth share).
     wire_cursor: Vec<u64>,
     tx_wire_offset: Vec<u64>,
     peer_inflight: Vec<u32>,
     last_softirq_cpu: Vec<Option<CpuId>>,
     last_process_cpu: Vec<Option<CpuId>>,
+
+    // Per-NIC-port state.
+    nic_activity: Vec<u64>,
+    flush_armed: Vec<bool>,
     /// Cycles each CPU has spent in interrupt context (top halves,
     /// bottom halves, flush penalties) — drives the wake-affine gate.
     irq_cycles: Vec<u64>,
@@ -129,9 +156,33 @@ impl Machine {
     /// an affinity mask cannot be applied.
     pub fn new(config: &ExperimentConfig) -> Result<Self> {
         let cpus = config.cpus;
+        assert!(
+            (1..=64).contains(&cpus),
+            "machine supports 1..=64 CPUs (cpumask and ready-set words), got {cpus}"
+        );
         let nics_n = config.nics;
+        let flows = config.connections;
+        assert!(flows > 0, "machine needs at least one connection");
         let mut mem = MemorySystem::new(config.mem.clone());
         let mut rng = SimRng::new(config.seed);
+
+        // Flow→NIC steering. Round-robin reduces to the identity map on
+        // the paper SUT (`connections == nics`), keeping those runs
+        // bit-identical; RSS spreads flows by hash like a real
+        // receive-side-scaling indirection table.
+        let flow_nic: Vec<usize> = (0..flows)
+            .map(|f| {
+                if config.mode.rss_steered() {
+                    ((f as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % nics_n
+                } else {
+                    f % nics_n
+                }
+            })
+            .collect();
+        let mut nic_flows = vec![Vec::new(); nics_n];
+        for (f, &n) in flow_nic.iter().enumerate() {
+            nic_flows[n].push(f);
+        }
 
         let vectors: Vec<IrqVector> = (0..nics_n)
             .map(|i| {
@@ -144,7 +195,8 @@ impl Machine {
             .map(|i| Nic::new(DeviceId::new(i as u32), vectors[i], config.nic, &mut mem))
             .collect();
 
-        let dma_regions: Vec<_> = nics.iter().map(Nic::rx_buffers).collect();
+        // Each flow DMAs through its NIC's receive buffers.
+        let dma_regions: Vec<_> = (0..flows).map(|f| nics[flow_nic[f]].rx_buffers()).collect();
         let stack = TcpStack::new(
             config.stack.clone(),
             &mut mem,
@@ -165,9 +217,12 @@ impl Machine {
         }
         let mut tasks = Vec::new();
         let mut task_of_conn = Vec::new();
-        for i in 0..nics_n {
+        for (i, &nic) in flow_nic.iter().enumerate() {
+            // A pinned process lives on the CPU that services its NIC's
+            // vector (identical to the old per-connection pin on the
+            // paper SUT, where flow i rides NIC i).
             let mask = if config.mode.processes_pinned() {
-                CpuMask::single(home_cpu(i))
+                CpuMask::single(home_cpu(nic))
             } else {
                 CpuMask::all(cpus)
             };
@@ -181,7 +236,7 @@ impl Machine {
             });
         }
 
-        let peers = (0..nics_n)
+        let peers = (0..flows)
             .map(|i| {
                 Peer::new(
                     ConnectionId::new(i as u32),
@@ -218,23 +273,26 @@ impl Machine {
             // segments, ACKs, coalescing timers); pre-size so the heap
             // never reallocates mid-run.
             events: EventQueue::with_capacity(
-                64 * nics_n + config.tunables.peer_window as usize * nics_n,
+                64 * nics_n + config.tunables.peer_window as usize * flows,
             ),
+            ready: ReadyCpus::new(),
             tasks,
             task_of_conn,
             last_task_on: vec![None; cpus],
             run_since_sched: vec![0; cpus],
-            nic_rx_pending: vec![Vec::new(); nics_n],
-            nic_ack_pending: vec![0; nics_n],
-            nic_ack_frames: vec![0; nics_n],
-            nic_txdone_pending: vec![0; nics_n],
+            flow_nic,
+            nic_flows,
+            flow_rx_pending: vec![Vec::new(); flows],
+            flow_ack_pending: vec![0; flows],
+            flow_ack_frames: vec![0; flows],
+            flow_txdone_pending: vec![0; flows],
             nic_activity: vec![0; nics_n],
             flush_armed: vec![false; nics_n],
-            wire_cursor: vec![0; nics_n],
-            tx_wire_offset: vec![0; nics_n],
-            peer_inflight: vec![0; nics_n],
-            last_softirq_cpu: vec![None; nics_n],
-            last_process_cpu: vec![None; nics_n],
+            wire_cursor: vec![0; flows],
+            tx_wire_offset: vec![0; flows],
+            peer_inflight: vec![0; flows],
+            last_softirq_cpu: vec![None; flows],
+            last_process_cpu: vec![None; flows],
             irq_cycles: vec![0; cpus],
             total_messages: 0,
             measured_messages: 0,
@@ -296,7 +354,7 @@ impl Machine {
                 guard < guard_limit,
                 "run loop exceeded {guard_limit} iterations — machine wedged?"
             );
-            if trace && (guard & (guard - 1) == 0 || guard.is_multiple_of(200_000)) {
+            if trace && should_trace(guard) {
                 eprintln!(
                     "iter={guard} msgs={}/{} measuring={} clocks={:?} events={} loads={:?}",
                     self.total_messages,
@@ -309,9 +367,21 @@ impl Machine {
                         .collect::<Vec<_>>(),
                 );
             }
-            let ready = (0..self.config.cpus)
-                .filter(|&c| self.cpu_has_work(c))
-                .min_by_key(|&c| (self.clocks[c], c));
+            // Runnability only moves when the scheduler mutates; reuse
+            // the cached ready mask until its generation slips. The pick
+            // reproduces the old `filter(cpu_has_work).min_by_key
+            // (|c| (clock, cpu))` scan bit-for-bit (see `ready.rs`).
+            let generation = self.sched.generation();
+            if self.ready.stale(generation) {
+                let mut mask = 0u64;
+                for c in 0..self.config.cpus {
+                    if self.cpu_has_work(c) {
+                        mask |= 1 << c;
+                    }
+                }
+                self.ready.set(generation, mask);
+            }
+            let ready = self.ready.pick(&self.clocks);
             match (ready, self.events.peek_time()) {
                 (Some(c), Some(t)) => {
                     if self.clocks[c] <= t.cycles() {
@@ -337,15 +407,15 @@ impl Machine {
         // Generous: every message costs well under 10k loop iterations.
         let msgs = u64::from(self.config.workload.warmup_messages)
             + u64::from(self.config.workload.measure_messages);
-        10_000 * msgs * self.config.nics as u64 + 1_000_000
+        10_000 * msgs * self.config.connections as u64 + 1_000_000
     }
 
     fn warmup_target(&self) -> u64 {
-        u64::from(self.config.workload.warmup_messages) * self.config.nics as u64
+        u64::from(self.config.workload.warmup_messages) * self.config.connections as u64
     }
 
     fn measure_target(&self) -> u64 {
-        u64::from(self.config.workload.measure_messages) * self.config.nics as u64
+        u64::from(self.config.workload.measure_messages) * self.config.connections as u64
     }
 
     fn seed_initial_work(&mut self) {
@@ -383,35 +453,35 @@ impl Machine {
                 for i in 0..self.tasks.len() {
                     self.tasks[i].blocked = Some(BlockReason::RxData);
                 }
-                for n in 0..self.config.nics {
-                    self.refill_peer_window(n, 0);
+                for f in 0..self.config.connections {
+                    self.refill_peer_window(f, 0);
                 }
             }
         }
     }
 
-    fn refill_peer_window(&mut self, nic: usize, now: u64) {
+    fn refill_peer_window(&mut self, flow: usize, now: u64) {
         if self.done {
             return;
         }
         let window = self.config.tunables.peer_window;
         let mss = u64::from(self.config.stack.mss);
-        while self.peer_inflight[nic] < window {
+        while self.peer_inflight[flow] < window {
             // TCP receive-window flow control: don't exceed the
             // advertised socket buffer with unread + in-flight data.
-            let committed = self.stack.rx_available(ConnectionId::new(nic as u32))
-                + u64::from(self.peer_inflight[nic]) * mss;
+            let committed = self.stack.rx_available(ConnectionId::new(flow as u32))
+                + u64::from(self.peer_inflight[flow]) * mss;
             if committed + mss > self.config.tunables.rcv_buf_bytes {
                 break;
             }
-            let (seg, gap) = self.peers[nic].source_frame();
-            let at = self.wire_cursor[nic].max(now) + self.wire_time(seg.payload) + gap;
-            self.wire_cursor[nic] = at;
-            self.peer_inflight[nic] += 1;
+            let (seg, gap) = self.peers[flow].source_frame();
+            let at = self.wire_cursor[flow].max(now) + self.wire_time(seg.payload) + gap;
+            self.wire_cursor[flow] = at;
+            self.peer_inflight[flow] += 1;
             self.push_event(
                 at,
                 Event::FrameArrival {
-                    nic,
+                    flow,
                     bytes: seg.payload,
                 },
             );
@@ -502,14 +572,14 @@ impl Machine {
         let cross = self.last_softirq_cpu[conn].is_some_and(|s| s != cpu);
         let before = self.cores[c].busy_cycles();
         let segs = {
-            let mut ctx = ExecCtx {
-                core: &mut self.cores[c],
-                mem: &mut self.mem,
-                prof: &mut self.prof,
-                rng: &mut self.rng,
-            };
+            let mut ctx = ExecCtx::new(
+                &mut self.cores[c],
+                &mut self.mem,
+                &mut self.prof,
+                &mut self.rng,
+            );
             let segs = self.stack.sendmsg(&mut ctx, conn_id, chunk_bytes, cross);
-            let tx_ring = self.nics[conn].tx_ring();
+            let tx_ring = self.nics[self.flow_nic[conn]].tx_ring();
             for (i, &seg) in segs.iter().enumerate() {
                 self.stack
                     .driver_tx(&mut ctx, conn_id, tx_ring, i as u64, seg);
@@ -530,7 +600,7 @@ impl Machine {
             self.push_event(
                 cursor,
                 Event::WireTx {
-                    nic: conn,
+                    flow: conn,
                     bytes: seg,
                 },
             );
@@ -557,12 +627,12 @@ impl Machine {
         let before = self.cores[c].busy_cycles();
         let want = self.tasks[ti].remaining;
         let got = {
-            let mut ctx = ExecCtx {
-                core: &mut self.cores[c],
-                mem: &mut self.mem,
-                prof: &mut self.prof,
-                rng: &mut self.rng,
-            };
+            let mut ctx = ExecCtx::new(
+                &mut self.cores[c],
+                &mut self.mem,
+                &mut self.prof,
+                &mut self.rng,
+            );
             self.stack.recvmsg(&mut ctx, conn_id, want, cross)
         };
         let delta = self.cores[c].busy_cycles() - before;
@@ -593,9 +663,10 @@ impl Machine {
         };
         let t = time.cycles();
         match event {
-            Event::FrameArrival { nic, bytes } => {
+            Event::FrameArrival { flow, bytes } => {
+                let nic = self.flow_nic[flow];
                 let raise = self.nics[nic].dma_rx_frame(&mut self.mem, bytes);
-                self.nic_rx_pending[nic].push(bytes);
+                self.flow_rx_pending[flow].push(bytes);
                 self.nic_activity[nic] = t;
                 if raise {
                     self.deliver_interrupt(nic, t + self.config.tunables.irq_latency_cycles);
@@ -603,10 +674,11 @@ impl Machine {
                     self.arm_flush(nic, t);
                 }
             }
-            Event::AckArrival { nic, acked } => {
+            Event::AckArrival { flow, acked } => {
+                let nic = self.flow_nic[flow];
                 let raise = self.nics[nic].dma_rx_frame(&mut self.mem, 66);
-                self.nic_ack_pending[nic] += acked;
-                self.nic_ack_frames[nic] += 1;
+                self.flow_ack_pending[flow] += acked;
+                self.flow_ack_frames[flow] += 1;
                 self.nic_activity[nic] = t;
                 if raise {
                     self.deliver_interrupt(nic, t + self.config.tunables.irq_latency_cycles);
@@ -614,13 +686,14 @@ impl Machine {
                     self.arm_flush(nic, t);
                 }
             }
-            Event::WireTx { nic, bytes } => {
-                let conn_id = ConnectionId::new(nic as u32);
+            Event::WireTx { flow, bytes } => {
+                let nic = self.flow_nic[flow];
+                let conn_id = ConnectionId::new(flow as u32);
                 let skb_data = self.stack.regions(conn_id).skb_data;
-                let off = self.tx_wire_offset[nic];
-                self.tx_wire_offset[nic] += u64::from(bytes);
+                let off = self.tx_wire_offset[flow];
+                self.tx_wire_offset[flow] += u64::from(bytes);
                 let raise = self.nics[nic].dma_tx_frame(&mut self.mem, skb_data, off, bytes);
-                self.nic_txdone_pending[nic] += 1;
+                self.flow_txdone_pending[flow] += 1;
                 self.nic_activity[nic] = t;
                 if raise {
                     self.deliver_interrupt(nic, t + self.config.tunables.irq_latency_cycles);
@@ -632,11 +705,11 @@ impl Machine {
                     // retransmission timer will fire.
                     self.push_event(
                         t + self.config.tunables.rto_cycles,
-                        Event::RtoFire { nic, bytes },
+                        Event::RtoFire { flow, bytes },
                     );
                     return;
                 }
-                if self.peers[nic].on_data_segment().is_some() {
+                if self.peers[flow].on_data_segment().is_some() {
                     // Jittered RTT: client-side processing and switch
                     // queueing desynchronize the connections.
                     let jitter = self
@@ -646,7 +719,7 @@ impl Machine {
                     self.push_event(
                         t + self.config.tunables.rtt_cycles + jitter,
                         Event::AckArrival {
-                            nic,
+                            flow,
                             acked: self.config.stack.ack_every,
                         },
                     );
@@ -661,41 +734,47 @@ impl Machine {
                         self.deliver_interrupt(nic, t);
                     }
                     if self.config.workload.direction == Direction::Tx {
-                        if let Some(_ack) = self.peers[nic].flush_ack() {
-                            self.push_event(
-                                t + self.config.tunables.rtt_cycles,
-                                Event::AckArrival { nic, acked: 1 },
-                            );
+                        // Flush the delayed-ACK timers of every flow on
+                        // this port, ascending (one flow per port on the
+                        // paper SUT).
+                        for i in 0..self.nic_flows[nic].len() {
+                            let flow = self.nic_flows[nic][i];
+                            if let Some(_ack) = self.peers[flow].flush_ack() {
+                                self.push_event(
+                                    t + self.config.tunables.rtt_cycles,
+                                    Event::AckArrival { flow, acked: 1 },
+                                );
+                            }
                         }
                     }
                 }
             }
-            Event::RtoFire { nic, bytes } => {
+            Event::RtoFire { flow, bytes } => {
                 // Timer softirq runs on the vector's CPU: collapse the
                 // window, rebuild the segment, requeue it on the wire.
-                let vector = self.vectors[nic];
+                let vector = self.vectors[self.flow_nic[flow]];
                 let target = self.apic.route(vector);
                 let c = target.index();
                 self.clocks[c] = self.clocks[c].max(t);
-                let conn_id = ConnectionId::new(nic as u32);
-                let cross = self.last_process_cpu[nic].is_some_and(|p| p != target);
+                let conn_id = ConnectionId::new(flow as u32);
+                let cross = self.last_process_cpu[flow].is_some_and(|p| p != target);
                 let before = self.cores[c].busy_cycles();
                 {
-                    let mut ctx = ExecCtx {
-                        core: &mut self.cores[c],
-                        mem: &mut self.mem,
-                        prof: &mut self.prof,
-                        rng: &mut self.rng,
-                    };
+                    let mut ctx = ExecCtx::new(
+                        &mut self.cores[c],
+                        &mut self.mem,
+                        &mut self.prof,
+                        &mut self.rng,
+                    );
                     self.stack
                         .retransmit_timeout(&mut ctx, conn_id, bytes, cross);
                 }
                 let delta = self.cores[c].busy_cycles() - before;
                 self.clocks[c] += delta;
                 self.irq_cycles[c] += delta;
-                let at = self.wire_cursor[nic].max(self.clocks[c]) + self.wire_time(bytes);
-                self.wire_cursor[nic] = at;
-                self.push_event(at, Event::WireTx { nic, bytes });
+                let at = self.wire_cursor[flow].max(self.clocks[c]) + self.wire_time(bytes);
+                self.wire_cursor[flow] = at;
+                self.push_event(at, Event::WireTx { flow, bytes });
             }
             Event::LoadBalance => {
                 self.sched.load_balance();
@@ -736,9 +815,15 @@ impl Machine {
         let vector = self.vectors[nic];
         let mut target = self.apic.deliver(vector);
         if self.config.tunables.dynamic_steering {
-            // RSS/flow-director future: the device steers this flow's
-            // interrupt to wherever its consumer last ran.
-            if let Some(cpu) = self.last_process_cpu[nic] {
+            // Flow-director future: the device steers the interrupt to
+            // wherever the consumer of the port's first pending flow
+            // last ran (the port's only flow on the paper SUT).
+            let flow = self.nic_flows[nic]
+                .iter()
+                .copied()
+                .find(|&f| self.flow_has_pending(f))
+                .or_else(|| self.nic_flows[nic].first().copied());
+            if let Some(cpu) = flow.and_then(|f| self.last_process_cpu[f]) {
                 target = cpu;
             }
         }
@@ -755,12 +840,12 @@ impl Machine {
 
         // Top half.
         {
-            let mut ctx = ExecCtx {
-                core: &mut self.cores[c],
-                mem: &mut self.mem,
-                prof: &mut self.prof,
-                rng: &mut self.rng,
-            };
+            let mut ctx = ExecCtx::new(
+                &mut self.cores[c],
+                &mut self.mem,
+                &mut self.prof,
+                &mut self.rng,
+            );
             self.stack.irq_top_half(&mut ctx, vector);
         }
         self.clocks[c] += self.cores[c].busy_cycles()
@@ -820,25 +905,42 @@ impl Machine {
         None
     }
 
+    /// True when `flow` has anything staged for its next bottom half.
+    fn flow_has_pending(&self, flow: usize) -> bool {
+        self.flow_txdone_pending[flow] > 0
+            || self.flow_ack_pending[flow] > 0
+            || !self.flow_rx_pending[flow].is_empty()
+    }
+
+    /// The NAPI poll loop of one port's softirq: drains every flow of
+    /// the port in ascending flow order (exactly the single-flow body on
+    /// the paper SUT, where each port carries one connection).
     fn run_bottom_half(&mut self, c: usize, nic: usize) {
+        for i in 0..self.nic_flows[nic].len() {
+            let flow = self.nic_flows[nic][i];
+            self.run_flow_bottom_half(c, nic, flow);
+        }
+    }
+
+    fn run_flow_bottom_half(&mut self, c: usize, nic: usize, flow: usize) {
         let cpu = CpuId::new(c as u32);
-        let conn_id = ConnectionId::new(nic as u32);
-        let cross = self.last_process_cpu[nic].is_some_and(|p| p != cpu);
+        let conn_id = ConnectionId::new(flow as u32);
+        let cross = self.last_process_cpu[flow].is_some_and(|p| p != cpu);
         let before = self.cores[c].busy_cycles();
 
-        let txdone = std::mem::take(&mut self.nic_txdone_pending[nic]);
-        let acked = std::mem::take(&mut self.nic_ack_pending[nic]);
-        let ack_frames = std::mem::take(&mut self.nic_ack_frames[nic]);
-        let frames = std::mem::take(&mut self.nic_rx_pending[nic]);
+        let txdone = std::mem::take(&mut self.flow_txdone_pending[flow]);
+        let acked = std::mem::take(&mut self.flow_ack_pending[flow]);
+        let ack_frames = std::mem::take(&mut self.flow_ack_frames[flow]);
+        let frames = std::mem::take(&mut self.flow_rx_pending[flow]);
 
         let mut wake_consumer = false;
         {
-            let mut ctx = ExecCtx {
-                core: &mut self.cores[c],
-                mem: &mut self.mem,
-                prof: &mut self.prof,
-                rng: &mut self.rng,
-            };
+            let mut ctx = ExecCtx::new(
+                &mut self.cores[c],
+                &mut self.mem,
+                &mut self.prof,
+                &mut self.rng,
+            );
             if txdone > 0 {
                 let tx_ring = self.nics[nic].tx_ring();
                 self.stack.tx_complete(&mut ctx, conn_id, tx_ring, txdone);
@@ -859,17 +961,17 @@ impl Machine {
         }
         if !frames.is_empty() {
             self.nics[nic].reclaim_rx(frames.len() as u32);
-            self.peer_inflight[nic] = self.peer_inflight[nic].saturating_sub(frames.len() as u32);
+            self.peer_inflight[flow] = self.peer_inflight[flow].saturating_sub(frames.len() as u32);
         }
         let delta = self.cores[c].busy_cycles() - before;
         self.clocks[c] += delta;
-        self.last_softirq_cpu[nic] = Some(cpu);
+        self.last_softirq_cpu[flow] = Some(cpu);
         let now = self.clocks[c];
 
         // Completing execution of a split stack requires interrupting
         // the CPU that owns the process context (the paper's IPI story):
         // the bottom half ran here, the connection's process runs there.
-        if let Some(proc_cpu) = self.last_process_cpu[nic] {
+        if let Some(proc_cpu) = self.last_process_cpu[flow] {
             if proc_cpu != cpu && (!frames.is_empty() || acked > 0) {
                 self.deliver_ipi(cpu, proc_cpu, IpiKind::FunctionCall, now);
             }
@@ -877,11 +979,11 @@ impl Machine {
 
         // Keep the peer's window full (RX workload).
         if self.config.workload.direction == Direction::Rx && !frames.is_empty() {
-            self.refill_peer_window(nic, now);
+            self.refill_peer_window(flow, now);
         }
 
         // Wake whoever was blocked on this connection.
-        let ti = self.task_of_conn[nic];
+        let ti = self.task_of_conn[flow];
         let should_wake = match self.tasks[ti].blocked {
             Some(BlockReason::TxSpace) => {
                 // High watermark: a third of the buffer free again, and
@@ -988,7 +1090,7 @@ impl Machine {
         }
         let sched_stats = self.sched.stats();
         let (mut lock_acq, mut lock_cont) = (0, 0);
-        for i in 0..self.config.nics {
+        for i in 0..self.config.connections {
             let s = self.stack.lock_stats(ConnectionId::new(i as u32));
             lock_acq += s.acquisitions;
             lock_cont += s.contended;
@@ -1072,5 +1174,24 @@ impl Machine {
     #[must_use]
     pub fn total_ipis(&self) -> u64 {
         self.ipi.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::should_trace;
+
+    #[test]
+    fn trace_gate_fires_on_powers_of_two_and_200k_multiples() {
+        assert!(!should_trace(0), "iteration 0 never runs");
+        for g in [1, 2, 4, 1024, 1 << 40] {
+            assert!(should_trace(g), "{g} is a power of two");
+        }
+        for g in [200_000u64, 400_000, 2_000_000] {
+            assert!(should_trace(g), "{g} is a 200k multiple");
+        }
+        for g in [3, 5, 199_999, 200_001, 300_000] {
+            assert!(!should_trace(g), "{g} should be quiet");
+        }
     }
 }

@@ -19,6 +19,13 @@ pub enum AffinityMode {
     /// Full affinity: each process pinned to the CPU that services its
     /// NIC's interrupts.
     Full,
+    /// Receive-side-scaling: flows are hash-steered across NIC queues
+    /// whose vectors are pinned (like [`AffinityMode::Irq`]), processes
+    /// stay free — the "adapters that can direct connections ... to a
+    /// specific processor" future the paper's conclusion sketches. Not
+    /// part of the paper's Figure 3 matrix ([`AffinityMode::ALL`]); used
+    /// by the scale sweep.
+    Rss,
 }
 
 impl AffinityMode {
@@ -38,19 +45,30 @@ impl AffinityMode {
             AffinityMode::Irq => "IRQ Aff",
             AffinityMode::Process => "Proc Aff",
             AffinityMode::Full => "Full Aff",
+            AffinityMode::Rss => "RSS Aff",
         }
     }
 
     /// Whether interrupts are split across CPUs in this mode.
     #[must_use]
     pub fn irq_split(self) -> bool {
-        matches!(self, AffinityMode::Irq | AffinityMode::Full)
+        matches!(
+            self,
+            AffinityMode::Irq | AffinityMode::Full | AffinityMode::Rss
+        )
     }
 
     /// Whether processes are pinned in this mode.
     #[must_use]
     pub fn processes_pinned(self) -> bool {
         matches!(self, AffinityMode::Process | AffinityMode::Full)
+    }
+
+    /// Whether flows are RSS-hash-steered across NIC queues (instead of
+    /// the static round-robin flow→NIC assignment).
+    #[must_use]
+    pub fn rss_steered(self) -> bool {
+        matches!(self, AffinityMode::Rss)
     }
 }
 
@@ -82,8 +100,20 @@ mod tests {
     }
 
     #[test]
+    fn rss_is_outside_the_paper_matrix() {
+        assert!(!AffinityMode::ALL.contains(&AffinityMode::Rss));
+        assert!(AffinityMode::Rss.irq_split());
+        assert!(!AffinityMode::Rss.processes_pinned());
+        assert!(AffinityMode::Rss.rss_steered());
+        for mode in AffinityMode::ALL {
+            assert!(!mode.rss_steered(), "{mode} must use round-robin flows");
+        }
+    }
+
+    #[test]
     fn labels() {
         assert_eq!(AffinityMode::Full.to_string(), "Full Aff");
         assert_eq!(AffinityMode::None.label(), "No Aff");
+        assert_eq!(AffinityMode::Rss.label(), "RSS Aff");
     }
 }

@@ -1,0 +1,134 @@
+//! The run loop's ready-CPU index.
+//!
+//! Every iteration of the machine's run loop must pick the CPU with
+//! runnable work whose local clock is furthest behind. The naive form —
+//! `(0..cpus).filter(cpu_has_work).min_by_key(|c| (clock[c], c))` —
+//! re-interrogates the scheduler (including the cross-runqueue
+//! steal-eligibility scan) for every CPU on every iteration, making each
+//! iteration O(CPUs²) at worst. Runnability only changes when the
+//! scheduler mutates, though, so [`ReadyCpus`] caches the answer as a
+//! bitmask keyed to [`Scheduler::generation`](sim_os::Scheduler::generation)
+//! and revalidates with a single integer compare; the per-iteration cost
+//! collapses to a min-scan over the set bits.
+//!
+//! The pick order is **identical** to the naive scan by construction:
+//! bits are visited in ascending CPU order and a candidate only replaces
+//! the current best on a *strictly* smaller clock, which reproduces the
+//! `(clock, cpu)` lexicographic tie-break exactly. The property tests in
+//! `tests/ready_cpus.rs` drive both forms through randomized
+//! block/wake/advance sequences to keep this claim honest.
+
+/// Cached bitmask of CPUs that currently have runnable work.
+#[derive(Debug, Clone)]
+pub struct ReadyCpus {
+    /// Scheduler generation the mask was computed at; `u64::MAX` marks
+    /// the cache as never-filled (the scheduler starts at generation 0).
+    generation: u64,
+    mask: u64,
+}
+
+impl Default for ReadyCpus {
+    fn default() -> Self {
+        ReadyCpus::new()
+    }
+}
+
+impl ReadyCpus {
+    /// An empty, stale cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ReadyCpus {
+            generation: u64::MAX,
+            mask: 0,
+        }
+    }
+
+    /// True when the cached mask no longer matches `generation` and must
+    /// be rebuilt via [`set`](Self::set).
+    #[must_use]
+    pub fn stale(&self, generation: u64) -> bool {
+        self.generation != generation
+    }
+
+    /// Installs a freshly computed mask for `generation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generation` is `u64::MAX` (reserved as the
+    /// never-filled marker).
+    pub fn set(&mut self, generation: u64, mask: u64) {
+        assert!(generation != u64::MAX, "generation overflow");
+        self.generation = generation;
+        self.mask = mask;
+    }
+
+    /// The cached mask (bit `c` set when CPU `c` has work).
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// The ready CPU with the smallest `(clock, cpu)` — exactly the CPU
+    /// the naive `filter(has_work).min_by_key(|c| (clock[c], c))` scan
+    /// would pick. `None` when no CPU is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask has a bit at or beyond `clocks.len()`.
+    #[must_use]
+    pub fn pick(&self, clocks: &[u64]) -> Option<usize> {
+        let mut rest = self.mask;
+        let mut best: Option<usize> = None;
+        while rest != 0 {
+            let c = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            // Strict `<` with ascending visit order == lexicographic
+            // (clock, cpu) minimum.
+            if best.is_none_or(|b| clocks[c] < clocks[b]) {
+                best = Some(c);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_stale_then_caches() {
+        let mut r = ReadyCpus::new();
+        assert!(r.stale(0));
+        r.set(0, 0b11);
+        assert!(!r.stale(0));
+        assert!(r.stale(1));
+        assert_eq!(r.mask(), 0b11);
+    }
+
+    #[test]
+    fn pick_matches_naive_scan() {
+        let clocks = [5u64, 3, 3, 9];
+        for mask in 0u64..16 {
+            let mut r = ReadyCpus::new();
+            r.set(0, mask);
+            let naive = (0..4)
+                .filter(|&c| mask & (1 << c) != 0)
+                .min_by_key(|&c| (clocks[c], c));
+            assert_eq!(r.pick(&clocks), naive, "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn empty_mask_picks_none() {
+        let r = ReadyCpus::new();
+        assert_eq!(r.pick(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_cpu() {
+        let mut r = ReadyCpus::new();
+        r.set(0, 0b1110);
+        assert_eq!(r.pick(&[0, 7, 7, 7]), Some(1));
+    }
+}

@@ -4,7 +4,10 @@
 //! repro                # everything
 //! repro fig3           # one artifact: fig3 fig4 fig5 table1..table5 fourp
 //! repro --sizes 128,65536 fig3   # restrict the size sweep
-//! repro perf           # time the benchmark matrix, write BENCH_substrate.json
+//! repro --filter full/4096/tx    # run exactly one matrix cell
+//! repro perf           # time the benchmark matrix, append to BENCH_substrate.json
+//! repro scale          # CPUs x flows x modes scaling sweep (incl. RSS)
+//! repro --quick perf   # smoke variants at tiny message counts (CI)
 //! ```
 //!
 //! The sweep cells run on a deterministic job pool; `REPRO_THREADS`
@@ -13,33 +16,112 @@
 use affinity_sim::{
     report, AffinityMode, Direction, ExperimentConfig, RunMetrics, RunResult, PAPER_SIZES,
 };
-use bench::{figure_row, pool_threads, run_cell, run_pool, EXTREME_POINTS};
+use bench::{
+    append_history, cell, figure_row, fnv_fold, pool_threads, run_cell, run_pool, EXTREME_POINTS,
+};
 use sim_cpu::EventCosts;
 
-fn parse_args() -> (Vec<String>, Vec<u64>) {
-    let mut artifacts = Vec::new();
-    let mut sizes: Vec<u64> = PAPER_SIZES.to_vec();
+/// PR number stamped on history entries appended to `BENCH_substrate.json`.
+const CURRENT_PR: u32 = 3;
+
+struct Args {
+    artifacts: Vec<String>,
+    sizes: Vec<u64>,
+    /// `--filter mode/size/dir`: run exactly one matrix cell.
+    filter: Option<(AffinityMode, u64, Direction)>,
+    /// `--quick`: tiny message counts, no history entry (CI smoke).
+    quick: bool,
+}
+
+fn parse_filter(spec: &str) -> (AffinityMode, u64, Direction) {
+    let parts: Vec<&str> = spec.split('/').collect();
+    let usage = "expected --filter <mode>/<size>/<dir>, e.g. --filter full/4096/tx";
+    assert!(parts.len() == 3, "bad filter {spec:?}: {usage}");
+    let mode = match parts[0].to_ascii_lowercase().as_str() {
+        "no" | "none" => AffinityMode::None,
+        "irq" => AffinityMode::Irq,
+        "proc" | "process" => AffinityMode::Process,
+        "full" => AffinityMode::Full,
+        "rss" => AffinityMode::Rss,
+        other => panic!("unknown mode {other:?} (no|irq|proc|full|rss): {usage}"),
+    };
+    let size: u64 = parts[1]
+        .parse()
+        .unwrap_or_else(|_| panic!("bad size {:?}: {usage}", parts[1]));
+    let direction = match parts[2].to_ascii_lowercase().as_str() {
+        "tx" => Direction::Tx,
+        "rx" => Direction::Rx,
+        other => panic!("unknown direction {other:?} (tx|rx): {usage}"),
+    };
+    (mode, size, direction)
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        artifacts: Vec::new(),
+        sizes: PAPER_SIZES.to_vec(),
+        filter: None,
+        quick: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--sizes" {
             let list = args.next().unwrap_or_default();
-            sizes = list
+            parsed.sizes = list
                 .split(',')
                 .filter_map(|s| s.trim().parse().ok())
                 .collect();
+        } else if arg == "--filter" {
+            let spec = args.next().unwrap_or_default();
+            parsed.filter = Some(parse_filter(&spec));
+        } else if arg == "--quick" {
+            parsed.quick = true;
         } else {
-            artifacts.push(arg);
+            parsed.artifacts.push(arg);
         }
     }
-    if artifacts.is_empty() {
-        artifacts = [
+    if parsed.artifacts.is_empty() {
+        parsed.artifacts = [
             "fig3", "fig4", "table1", "table2", "fig5", "table3", "table4", "table5", "fourp",
         ]
         .into_iter()
         .map(String::from)
         .collect();
     }
-    (artifacts, sizes)
+    parsed
+}
+
+/// Runs the single matrix cell named by `--filter` and prints its
+/// headline metrics — the quickest way to reproduce one data point.
+fn run_filtered(mode: AffinityMode, size: u64, direction: Direction, quick: bool) {
+    let mut config = cell(direction, size, mode, 0x5EED);
+    if quick {
+        config.workload = config.workload.quick();
+    }
+    eprintln!(
+        "single cell: {} {} {}B ({} warmup + {} measured msgs/conn, seed 0x5EED)",
+        mode.label(),
+        direction.label(),
+        size,
+        config.workload.warmup_messages,
+        config.workload.measure_messages,
+    );
+    let r = affinity_sim::run_experiment(&config).expect("valid experiment config");
+    let m = &r.metrics;
+    println!("mode        : {}", mode.label());
+    println!("direction   : {}", direction.label());
+    println!("message size: {size} B");
+    println!("messages    : {}", m.messages);
+    println!("wall cycles : {}", m.wall_cycles);
+    println!("throughput  : {:.0} Mb/s", m.throughput_mbps());
+    println!("cost        : {:.2} GHz/Gbps", m.cost_ghz_per_gbps());
+    println!(
+        "cpu util    : {}",
+        (0..config.cpus)
+            .map(|c| format!("{:.2}", m.cpu_utilization(c)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 }
 
 fn sweep(direction: Direction, sizes: &[u64]) -> Vec<(u64, Vec<(AffinityMode, RunMetrics)>)> {
@@ -79,8 +161,10 @@ const PRE_PR_BASELINE_S: f64 = 13.5;
 
 /// Times the benchmark matrix — both directions, every paper size, all
 /// four modes, two seeds (112 cells, the same matrix the pre-PR harness
-/// ran for `fig3 fig4`) — and writes `BENCH_substrate.json`.
-fn perf() {
+/// ran for `fig3 fig4`) — and appends a history entry to
+/// `BENCH_substrate.json`. With `--quick` the cells run at tiny message
+/// counts as a CI smoke check and nothing is recorded.
+fn perf(quick: bool) {
     const SEEDS: [u64; 2] = [0x5EED, 42];
     let mut jobs: Vec<(Direction, u64, AffinityMode, u64)> = Vec::new();
     for dir in [Direction::Tx, Direction::Rx] {
@@ -94,40 +178,175 @@ fn perf() {
     }
     let cells = jobs.len();
     let threads = pool_threads();
-    eprintln!("timing {cells} cells on {threads} worker(s)...");
+    eprintln!(
+        "timing {cells} cells on {threads} worker(s){}...",
+        if quick { " (quick smoke counts)" } else { "" }
+    );
     let t0 = std::time::Instant::now();
     let results = run_pool(jobs, threads, |(dir, size, mode, seed)| {
-        run_cell(dir, size, mode, seed).metrics.wall_cycles
+        if quick {
+            let mut config = cell(dir, size, mode, seed);
+            config.workload = config.workload.quick();
+            affinity_sim::run_experiment(&config)
+                .expect("valid experiment config")
+                .metrics
+                .wall_cycles
+        } else {
+            run_cell(dir, size, mode, seed).metrics.wall_cycles
+        }
     });
     let wall = t0.elapsed().as_secs_f64();
-    // Fold the results so the work can't be optimized away and the run
-    // is checkable: identical inputs must give an identical digest.
-    let digest = results.iter().fold(0xcbf29ce484222325u64, |h, &c| {
-        (h ^ c).wrapping_mul(0x100000001b3)
-    });
+    let digest = fnv_fold(results.iter().copied());
     let baseline = std::env::var("REPRO_BASELINE_S")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(PRE_PR_BASELINE_S);
     let json = format!(
-        "{{\n  \"benchmark\": \"full figure matrix (2 dirs x {n_sizes} sizes x 4 modes x 2 seeds)\",\n  \
-         \"cells\": {cells},\n  \"threads\": {threads},\n  \
-         \"baseline_wall_s\": {baseline:.2},\n  \"current_wall_s\": {wall:.2},\n  \
-         \"speedup\": {speedup:.2},\n  \"cells_per_sec\": {rate:.1},\n  \"digest\": \"{digest:016x}\"\n}}\n",
+        "  {{\n    \"pr\": {CURRENT_PR},\n    \
+         \"benchmark\": \"full figure matrix (2 dirs x {n_sizes} sizes x 4 modes x 2 seeds)\",\n    \
+         \"cells\": {cells},\n    \"threads\": {threads},\n    \
+         \"baseline_wall_s\": {baseline:.2},\n    \"current_wall_s\": {wall:.2},\n    \
+         \"speedup\": {speedup:.2},\n    \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
         n_sizes = PAPER_SIZES.len(),
         speedup = baseline / wall,
         rate = cells as f64 / wall,
     );
-    std::fs::write("BENCH_substrate.json", &json).expect("write BENCH_substrate.json");
-    print!("{json}");
+    if quick {
+        eprintln!("quick smoke run: not recorded in BENCH_substrate.json");
+    } else {
+        append_history("BENCH_substrate.json", &json);
+    }
+    println!("{json}");
+}
+
+/// The scaling sweep: CPU counts x flow counts x affinity modes (the
+/// Figure 3 interrupt/process knobs plus RSS hash steering), receive
+/// side, 4 KB messages. Reports per-cell throughput so the scaling shape
+/// is visible — with flows hash-steered to per-CPU vectors (RSS), adding
+/// CPUs should add bandwidth, which is exactly the future the paper's
+/// conclusion sketches. Deterministic: the digest is independent of
+/// `REPRO_THREADS`.
+fn scale(quick: bool) {
+    const MODES: [AffinityMode; 4] = [
+        AffinityMode::None,
+        AffinityMode::Irq,
+        AffinityMode::Full,
+        AffinityMode::Rss,
+    ];
+    let (cpu_grid, flow_grid): (Vec<usize>, Vec<usize>) = if quick {
+        (vec![2, 4], vec![8, 16])
+    } else {
+        (vec![2, 4, 8, 16], vec![8, 64, 256])
+    };
+    let mut jobs: Vec<(usize, usize, AffinityMode)> = Vec::new();
+    for &cpus in &cpu_grid {
+        for &flows in &flow_grid {
+            for mode in MODES {
+                jobs.push((cpus, flows, mode));
+            }
+        }
+    }
+    let cells = jobs.len();
+    let threads = pool_threads();
+    eprintln!(
+        "scale sweep: {cells} cells ({} CPU counts x {} flow counts x 4 modes, Rx 4KB) on {threads} worker(s)...",
+        cpu_grid.len(),
+        flow_grid.len(),
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_pool(jobs.clone(), threads, move |(cpus, flows, mode)| {
+        let mut config = ExperimentConfig::scale(Direction::Rx, cpus, flows, mode);
+        if quick {
+            config.workload.warmup_messages = 2;
+            config.workload.measure_messages = 3;
+        }
+        let r = affinity_sim::run_experiment(&config).expect("valid scale config");
+        (
+            r.metrics.wall_cycles,
+            r.metrics.throughput_mbps(),
+            r.metrics.cost_ghz_per_gbps(),
+        )
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let digest = fnv_fold(results.iter().map(|&(cycles, _, _)| cycles));
+
+    println!("scaling sweep (Rx, 4KB messages, one NIC queue per CPU)");
+    let header = format!(
+        "{:>5} {:>6} | {:>9} {:>9} {:>9} {:>9}",
+        "cpus",
+        "flows",
+        MODES[0].label(),
+        MODES[1].label(),
+        MODES[2].label(),
+        MODES[3].label(),
+    );
+    println!("{header}  (Mb/s)");
+    for (row, chunk) in results.chunks(MODES.len()).enumerate() {
+        let (cpus, flows, _) = jobs[row * MODES.len()];
+        let cols: Vec<String> = chunk
+            .iter()
+            .map(|&(_, mbps, _)| format!("{mbps:>9.0}"))
+            .collect();
+        println!("{cpus:>5} {flows:>6} | {}", cols.join(" "));
+    }
+    println!("\nprocessing cost shape");
+    println!("{header}  (GHz/Gbps)");
+    for (row, chunk) in results.chunks(MODES.len()).enumerate() {
+        let (cpus, flows, _) = jobs[row * MODES.len()];
+        let cols: Vec<String> = chunk
+            .iter()
+            .map(|&(_, _, cost)| format!("{cost:>9.2}"))
+            .collect();
+        println!("{cpus:>5} {flows:>6} | {}", cols.join(" "));
+    }
+    let max_flows = *flow_grid.last().expect("non-empty flow grid");
+    let rss_line: Vec<String> = jobs
+        .iter()
+        .zip(&results)
+        .filter(|((_, flows, mode), _)| *flows == max_flows && *mode == AffinityMode::Rss)
+        .map(|((cpus, _, _), (_, mbps, _))| format!("{cpus} cpus -> {mbps:.0} Mb/s"))
+        .collect();
+    println!("RSS scaling at {max_flows} flows: {}", rss_line.join(", "));
+    println!(
+        "{cells} cells in {wall:.2} s ({rate:.1} cells/sec), digest {digest:016x}",
+        rate = cells as f64 / wall,
+    );
+
+    if quick {
+        eprintln!("quick smoke run: not recorded in BENCH_substrate.json");
+    } else {
+        let json = format!(
+            "  {{\n    \"pr\": {CURRENT_PR},\n    \
+             \"benchmark\": \"scale sweep (4 CPU counts x 3 flow counts x 4 modes, Rx 4KB)\",\n    \
+             \"cells\": {cells},\n    \"threads\": {threads},\n    \
+             \"current_wall_s\": {wall:.2},\n    \
+             \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
+            rate = cells as f64 / wall,
+        );
+        append_history("BENCH_substrate.json", &json);
+    }
 }
 
 fn main() {
-    let (artifacts, sizes) = parse_args();
+    let args = parse_args();
+    let Args {
+        artifacts,
+        sizes,
+        filter,
+        quick,
+    } = args;
     let wants = |name: &str| artifacts.iter().any(|a| a == name);
 
+    if let Some((mode, size, direction)) = filter {
+        run_filtered(mode, size, direction, quick);
+        return;
+    }
     if wants("perf") {
-        perf();
+        perf(quick);
+        return;
+    }
+    if wants("scale") {
+        scale(quick);
         return;
     }
 

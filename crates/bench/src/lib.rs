@@ -103,6 +103,48 @@ where
         .collect()
 }
 
+/// Folds a result stream into an order-sensitive FNV-1a digest, so a
+/// benchmark run is checkable: identical inputs must give an identical
+/// digest at any worker count, and the folded work can't be optimized
+/// away.
+#[must_use]
+pub fn fnv_fold(values: impl IntoIterator<Item = u64>) -> u64 {
+    values.into_iter().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
+        (h ^ c).wrapping_mul(0x0100_0000_01b3)
+    })
+}
+
+/// Appends one JSON object to an append-only JSON-array history file.
+///
+/// The file holds one entry per recorded benchmark run (`repro perf`,
+/// `repro scale`), newest last, so the bench trajectory across PRs stays
+/// visible instead of being clobbered by every run. A missing or empty
+/// file starts a new array; a legacy single-object snapshot (the pre-PR 3
+/// format) is wrapped into the array as its first entry.
+///
+/// # Panics
+///
+/// Panics if the file can't be written (the harness runs from the repo
+/// root; failing to record a benchmark should be loud).
+pub fn append_history(path: &str, entry: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim();
+    let entry = entry.trim();
+    let body = if trimmed.is_empty() {
+        format!("[\n{entry}\n]\n")
+    } else if let Some(rest) = trimmed.strip_prefix('[') {
+        let inner = rest.strip_suffix(']').unwrap_or(rest).trim();
+        if inner.is_empty() {
+            format!("[\n{entry}\n]\n")
+        } else {
+            format!("[\n{inner},\n{entry}\n]\n")
+        }
+    } else {
+        format!("[\n{trimmed},\n{entry}\n]\n")
+    };
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("write history {path}: {e}"));
+}
+
 /// Averages the metrics of several runs of the same cell: every counter
 /// — scalars, per-CPU vectors, the machine-wide event bank, the per-bin
 /// banks and the clear-reason breakdown — becomes the rounded mean of
@@ -243,6 +285,44 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn average_empty_panics() {
         let _ = average_metrics(&[]);
+    }
+
+    #[test]
+    fn fnv_fold_is_order_sensitive() {
+        assert_eq!(fnv_fold([]), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv_fold([1, 2]), fnv_fold([2, 1]));
+        assert_eq!(fnv_fold([1, 2, 3]), fnv_fold([1, 2, 3]));
+    }
+
+    #[test]
+    fn append_history_grows_an_array_and_wraps_legacy_snapshots() {
+        let path = std::env::temp_dir().join(format!("bench_history_{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+
+        // Empty file -> fresh one-entry array.
+        append_history(path, "{\"pr\": 1}");
+        assert_eq!(
+            std::fs::read_to_string(path).unwrap(),
+            "[\n{\"pr\": 1}\n]\n"
+        );
+
+        // Existing array -> appended, newest last.
+        append_history(path, "{\"pr\": 2}");
+        assert_eq!(
+            std::fs::read_to_string(path).unwrap(),
+            "[\n{\"pr\": 1},\n{\"pr\": 2}\n]\n"
+        );
+
+        // Legacy single-object snapshot -> wrapped as the first entry.
+        std::fs::write(path, "{\n  \"old\": true\n}\n").unwrap();
+        append_history(path, "{\"pr\": 3}");
+        assert_eq!(
+            std::fs::read_to_string(path).unwrap(),
+            "[\n{\n  \"old\": true\n},\n{\"pr\": 3}\n]\n"
+        );
+
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

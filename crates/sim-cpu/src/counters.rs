@@ -125,7 +125,29 @@ impl PerfCounters {
     /// True if every counter is zero.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        HwEvent::ALL.iter().all(|&e| self.get(e) == 0)
+        let PerfCounters {
+            cycles,
+            instructions,
+            machine_clears,
+            tc_misses,
+            l2_misses,
+            llc_misses,
+            itlb_misses,
+            dtlb_misses,
+            branches,
+            br_mispredicts,
+        } = *self;
+        cycles
+            | instructions
+            | machine_clears
+            | tc_misses
+            | l2_misses
+            | llc_misses
+            | itlb_misses
+            | dtlb_misses
+            | branches
+            | br_mispredicts
+            == 0
     }
 }
 
@@ -140,9 +162,32 @@ impl Add for PerfCounters {
 
 impl AddAssign for PerfCounters {
     fn add_assign(&mut self, rhs: PerfCounters) {
-        for e in HwEvent::ALL {
-            self.bump(e, rhs.get(e));
-        }
+        // Field-by-field: this runs once per modelled function call, and
+        // the `HwEvent` round-trip (enum match per event) showed up on the
+        // profile. Destructuring keeps it exhaustive: adding a counter
+        // field without extending this impl is a compile error.
+        let PerfCounters {
+            cycles,
+            instructions,
+            machine_clears,
+            tc_misses,
+            l2_misses,
+            llc_misses,
+            itlb_misses,
+            dtlb_misses,
+            branches,
+            br_mispredicts,
+        } = rhs;
+        self.cycles += cycles;
+        self.instructions += instructions;
+        self.machine_clears += machine_clears;
+        self.tc_misses += tc_misses;
+        self.l2_misses += l2_misses;
+        self.llc_misses += llc_misses;
+        self.itlb_misses += itlb_misses;
+        self.dtlb_misses += dtlb_misses;
+        self.branches += branches;
+        self.br_mispredicts += br_mispredicts;
     }
 }
 

@@ -65,4 +65,4 @@ mod work;
 pub use core_model::{Core, CpuConfig, ExecOutcome};
 pub use counters::PerfCounters;
 pub use events::{ClearReason, EventCosts, HwEvent};
-pub use work::{DataTouch, WorkItem};
+pub use work::{DataTouch, TouchList, WorkItem};

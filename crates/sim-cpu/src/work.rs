@@ -45,6 +45,84 @@ impl DataTouch {
     }
 }
 
+/// Inline, fixed-capacity list of [`DataTouch`]es.
+///
+/// Work items are built on the hot path (one per modelled function call)
+/// and no stack function touches more than [`TouchList::CAPACITY`] ranges,
+/// so the touches live inline in the `WorkItem` instead of behind a heap
+/// allocation. Derefs to `[DataTouch]` for iteration and indexing.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TouchList {
+    items: [DataTouch; TouchList::CAPACITY],
+    len: u8,
+}
+
+impl TouchList {
+    /// Maximum touches one work item can carry.
+    pub const CAPACITY: usize = 4;
+
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        TouchList {
+            items: [DataTouch::read(RegionId::PLACEHOLDER, 0, 0); TouchList::CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Appends a touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds [`TouchList::CAPACITY`] touches.
+    pub fn push(&mut self, touch: DataTouch) {
+        assert!(
+            (self.len as usize) < TouchList::CAPACITY,
+            "work item exceeds {} data touches",
+            TouchList::CAPACITY
+        );
+        self.items[self.len as usize] = touch;
+        self.len += 1;
+    }
+
+    /// The touches as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[DataTouch] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl Default for TouchList {
+    fn default() -> Self {
+        TouchList::new()
+    }
+}
+
+impl std::ops::Deref for TouchList {
+    type Target = [DataTouch];
+
+    fn deref(&self) -> &[DataTouch] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for TouchList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TouchList {}
+
+impl<'a> IntoIterator for &'a TouchList {
+    type Item = &'a DataTouch;
+    type IntoIter = std::slice::Iter<'a, DataTouch>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A unit of work for [`crate::Core::execute`].
 ///
 /// Construct with [`WorkItem::new`] and chain the builder-style setters.
@@ -64,7 +142,7 @@ pub struct WorkItem {
     /// Code footprint fetched through the trace cache.
     pub code: Option<(RegionId, u64)>,
     /// Data touches performed, in order.
-    pub touches: Vec<DataTouch>,
+    pub touches: TouchList,
     /// Fraction of instructions that are branches.
     pub branch_fraction: f64,
     /// Fraction of branches mispredicted.
@@ -81,11 +159,7 @@ impl WorkItem {
             base_cpi: 0.5,
             fixed_cycles: 0,
             code: None,
-            // Work items are built on the hot path (one per modelled
-            // function call); no stack function touches more than four
-            // ranges, so one up-front allocation replaces the
-            // grow-on-push reallocs of the builder chain.
-            touches: Vec::with_capacity(4),
+            touches: TouchList::new(),
             branch_fraction: 0.0,
             mispredict_rate: 0.0,
         }

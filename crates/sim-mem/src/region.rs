@@ -17,6 +17,10 @@ use serde::{Deserialize, Serialize};
 pub struct RegionId(u32);
 
 impl RegionId {
+    /// Placeholder id (`u32::MAX`) for pre-filling fixed-capacity buffers.
+    /// Never handed out by a [`RegionTable`] and not valid for lookups.
+    pub const PLACEHOLDER: RegionId = RegionId(u32::MAX);
+
     /// Raw index into the owning table.
     #[must_use]
     pub const fn index(self) -> usize {

@@ -105,6 +105,12 @@ pub struct Scheduler {
     /// runqueue happens to be empty (the paper's CPU0 pathology).
     pressure: Vec<usize>,
     stats: SchedulerStats,
+    /// Bumped by every operation that can change which CPUs have
+    /// runnable work (`running`, the runqueues, or a task's affinity).
+    /// Lets callers cache derived views — the run loop's ready-CPU set —
+    /// and revalidate with one integer compare instead of rescanning
+    /// every runqueue per iteration.
+    generation: u64,
 }
 
 impl Scheduler {
@@ -122,8 +128,17 @@ impl Scheduler {
             running: vec![None; config.cpus],
             pressure: vec![0; config.cpus],
             stats: SchedulerStats::default(),
+            generation: 0,
             config,
         }
+    }
+
+    /// The current runnability generation (see the field docs). Any
+    /// change to this value invalidates cached ready-CPU views; an
+    /// unchanged value guarantees no CPU gained or lost runnable work.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The configuration.
@@ -139,6 +154,7 @@ impl Scheduler {
     /// Returns [`SimError::EmptyAffinityMask`] if the mask selects none of
     /// this machine's CPUs.
     pub fn spawn(&mut self, name: impl Into<String>, affinity: CpuMask) -> Result<TaskId> {
+        self.generation += 1;
         let effective = affinity.and(CpuMask::all(self.config.cpus));
         if effective.is_empty() {
             return Err(SimError::EmptyAffinityMask);
@@ -155,6 +171,7 @@ impl Scheduler {
     /// Returns [`SimError::EmptyAffinityMask`] for a mask with no CPUs of
     /// this machine, or [`SimError::UnknownId`] for a bad task id.
     pub fn set_affinity(&mut self, task: TaskId, affinity: CpuMask) -> Result<()> {
+        self.generation += 1;
         let effective = affinity.and(CpuMask::all(self.config.cpus));
         if effective.is_empty() {
             return Err(SimError::EmptyAffinityMask);
@@ -239,6 +256,7 @@ impl Scheduler {
         from_cpu: CpuId,
         wake_affine: bool,
     ) -> Result<WakePlacement> {
+        self.generation += 1;
         let (state, last_cpu, affinity) = {
             let t = self.task(task)?;
             (t.state, t.last_cpu, t.affinity)
@@ -310,6 +328,7 @@ impl Scheduler {
     /// Panics if `cpu` is out of range or if `cpu` already has a running
     /// task (callers must `yield`/`block` first).
     pub fn pick_next(&mut self, cpu: CpuId) -> Option<TaskId> {
+        self.generation += 1;
         assert!(
             self.running[cpu.index()].is_none(),
             "{cpu} already has a running task"
@@ -338,6 +357,7 @@ impl Scheduler {
     ///
     /// Panics if `cpu` is out of range.
     pub fn yield_current(&mut self, cpu: CpuId) {
+        self.generation += 1;
         if let Some(task) = self.running[cpu.index()].take() {
             self.tasks[task.index()].state = TaskState::Runnable;
             self.runqueues[cpu.index()].push_back(task);
@@ -356,6 +376,7 @@ impl Scheduler {
     ///
     /// Panics if `cpu` is out of range.
     pub fn yield_current_global(&mut self, cpu: CpuId) {
+        self.generation += 1;
         let Some(task) = self.running[cpu.index()].take() else {
             return;
         };
@@ -381,6 +402,7 @@ impl Scheduler {
     ///
     /// Panics if `cpu` is out of range.
     pub fn block_current(&mut self, cpu: CpuId) -> Option<TaskId> {
+        self.generation += 1;
         let task = self.running[cpu.index()].take()?;
         self.tasks[task.index()].state = TaskState::Blocked;
         Some(task)
@@ -425,6 +447,7 @@ impl Scheduler {
     ///
     /// Panics if `cpu` is out of range.
     pub fn steal_into(&mut self, cpu: CpuId) -> Option<TaskId> {
+        self.generation += 1;
         if !self.runqueues[cpu.index()].is_empty() {
             return None; // not actually idle
         }
@@ -450,6 +473,7 @@ impl Scheduler {
     /// least [`SchedulerConfig::balance_threshold`] and affinity allows.
     /// Returns the migrations performed as `(task, from, to)`.
     pub fn load_balance(&mut self) -> Vec<(TaskId, CpuId, CpuId)> {
+        self.generation += 1;
         let mut moves = Vec::new();
         loop {
             let busiest = (0..self.config.cpus as u32)

@@ -47,7 +47,7 @@ mod registry;
 mod report;
 mod sampling;
 
-pub use profiler::Profiler;
+pub use profiler::{ProfScratch, Profiler};
 pub use registry::{FuncId, FunctionMeta, FunctionRegistry};
 pub use report::{symbol_report, SampleView, SymbolRow};
 pub use sampling::{sample_profile, sampling_distortion, SampledRow, SamplingConfig};

@@ -8,7 +8,7 @@ use sim_cpu::{Core, DataTouch, PerfCounters, WorkItem};
 use sim_mem::{MemorySystem, RegionId};
 use sim_net::wire;
 use sim_os::SpinLock;
-use sim_prof::{FuncId, FunctionRegistry, Profiler};
+use sim_prof::{FuncId, FunctionRegistry, ProfScratch, Profiler};
 
 use crate::bin::Bin;
 use crate::config::{FuncCost, StackConfig};
@@ -17,6 +17,12 @@ use crate::conn::{ConnState, ConnectionRegions};
 /// Execution context threaded through every stack operation: the CPU the
 /// code runs on, the coherent memory system, the profiler receiving
 /// attribution, and the deterministic RNG.
+///
+/// Per-function counter deltas are batched in an internal [`ProfScratch`]
+/// and flushed into the profiler when the context is dropped — i.e. at
+/// the end of the episode (function-exit/context-switch boundary).
+/// Because the context holds the profiler `&mut`, the borrow checker
+/// guarantees no profiler read can happen before that flush.
 #[derive(Debug)]
 pub struct ExecCtx<'a> {
     /// The core executing the code.
@@ -27,6 +33,38 @@ pub struct ExecCtx<'a> {
     pub prof: &'a mut Profiler,
     /// Deterministic randomness (lock contention draws, etc.).
     pub rng: &'a mut SimRng,
+    scratch: ProfScratch,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A context executing on `core`, attributing to `prof`.
+    #[must_use]
+    pub fn new(
+        core: &'a mut Core,
+        mem: &'a mut MemorySystem,
+        prof: &'a mut Profiler,
+        rng: &'a mut SimRng,
+    ) -> Self {
+        let scratch = ProfScratch::new(core.id());
+        ExecCtx {
+            core,
+            mem,
+            prof,
+            rng,
+            scratch,
+        }
+    }
+
+    /// Batches `delta` for `func` on this context's CPU.
+    fn record(&mut self, func: FuncId, delta: &PerfCounters) {
+        self.scratch.note(self.prof, func, delta);
+    }
+}
+
+impl Drop for ExecCtx<'_> {
+    fn drop(&mut self) {
+        self.scratch.flush(self.prof);
+    }
 }
 
 /// Outcome of processing a batch of received frames in the bottom half.
@@ -81,7 +119,10 @@ pub struct TcpStack {
     config: StackConfig,
     registry: FunctionRegistry,
     ids: FnIds,
-    code: HashMap<FuncId, RegionId>,
+    /// Code region per function, indexed by `FuncId::index()` (function
+    /// registration is dense and sequential, so this is a direct lookup
+    /// on the per-call hot path instead of a hash).
+    code: Vec<RegionId>,
     irq_funcs: HashMap<IrqVector, FuncId>,
     conns: Vec<ConnState>,
     locks: Vec<SpinLock>,
@@ -112,18 +153,19 @@ impl TcpStack {
             return Err(SimError::config("need at least one connection"));
         }
         let mut registry = FunctionRegistry::new();
-        let mut code = HashMap::new();
+        let mut code = Vec::new();
 
         fn reg(
             registry: &mut FunctionRegistry,
-            code: &mut HashMap<FuncId, RegionId>,
+            code: &mut Vec<RegionId>,
             mem: &mut MemorySystem,
             name: &str,
             cost: &FuncCost,
         ) -> FuncId {
             let id = registry.register(name, cost.bin.label());
             let region = mem.add_region(format!("{name}.text"), cost.code_bytes);
-            code.insert(id, region);
+            debug_assert_eq!(id.index(), code.len(), "function ids must be dense");
+            code.push(region);
             id
         }
 
@@ -165,7 +207,8 @@ impl TcpStack {
             lock_section: {
                 let id = r.register(".text.lock.tcp", Bin::Locks.label());
                 let region = mem.add_region(".text.lock.tcp.text", 256);
-                c.insert(id, region);
+                debug_assert_eq!(id.index(), c.len(), "function ids must be dense");
+                c.push(region);
                 id
             },
             do_gettimeofday: reg(r, c, mem, "do_gettimeofday", &config.do_gettimeofday),
@@ -299,7 +342,7 @@ impl TcpStack {
     }
 
     fn item(&self, cost: &FuncCost, func: FuncId, bytes: u64) -> WorkItem {
-        let code = self.code[&func];
+        let code = self.code[func.index()];
         WorkItem::new(cost.instructions(bytes))
             .base_cpi(cost.base_cpi)
             .fixed_cycles(cost.fixed_cycles)
@@ -310,7 +353,7 @@ impl TcpStack {
 
     fn run(&self, ctx: &mut ExecCtx<'_>, func: FuncId, item: WorkItem) -> u64 {
         let out = ctx.core.execute(ctx.mem, &item);
-        ctx.prof.record(ctx.core.id(), func, &out.counters);
+        ctx.record(func, &out.counters);
         out.cycles
     }
 
@@ -323,7 +366,7 @@ impl TcpStack {
         // write (and the source of coherence ping-pong when contended).
         let sock = self.conns[conn].regions.sock;
         let touch_item = WorkItem::new(0)
-            .code(self.code[&self.ids.lock_section], 128)
+            .code(self.code[self.ids.lock_section.index()], 128)
             .touch(DataTouch::write(sock, 0, 64));
         let touch_out = ctx.core.execute(ctx.mem, &touch_item);
         let delta = PerfCounters {
@@ -334,10 +377,8 @@ impl TcpStack {
             ..PerfCounters::default()
         };
         ctx.core.apply_counters(&delta);
-        ctx.prof
-            .record(ctx.core.id(), self.ids.lock_section, &delta);
-        ctx.prof
-            .record(ctx.core.id(), self.ids.lock_section, &touch_out.counters);
+        ctx.record(self.ids.lock_section, &delta);
+        ctx.record(self.ids.lock_section, &touch_out.counters);
         acq.cycles + touch_out.cycles
     }
 
@@ -928,12 +969,7 @@ mod tests {
     #[test]
     fn sendmsg_segments_and_inflight() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let segs = h.stack.sendmsg(&mut ctx, CONN, 65536, false);
         assert_eq!(segs.len(), 46);
         assert_eq!(segs.iter().map(|&s| u64::from(s)).sum::<u64>(), 65536);
@@ -943,12 +979,7 @@ mod tests {
     #[test]
     fn sendmsg_small_message_single_segment() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let segs = h.stack.sendmsg(&mut ctx, CONN, 128, false);
         assert_eq!(segs, vec![128]);
     }
@@ -956,12 +987,7 @@ mod tests {
     #[test]
     fn sendmsg_attributes_to_expected_bins() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack.sendmsg(&mut ctx, CONN, 65536, false);
         let reg = h.stack.registry();
         for bin in [
@@ -983,12 +1009,7 @@ mod tests {
     #[test]
     fn tx_copy_dominates_large_sends_over_small() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack.sendmsg(&mut ctx, CONN, 65536, false);
         let reg = h.stack.registry();
         let copies = h.prof.group_total(reg, "Copies").cycles;
@@ -1004,12 +1025,7 @@ mod tests {
         let mut h = harness();
         // Warm-up pass so compulsory misses don't distort the steady
         // state (the paper profiles long steady-state runs).
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         for _ in 0..800 {
             h.stack.sendmsg(&mut ctx, CONN, 128, false);
         }
@@ -1029,12 +1045,7 @@ mod tests {
     #[test]
     fn rx_path_queues_and_delivers() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let rx_ring = h.rx_ring;
         let out = h
             .stack
@@ -1043,12 +1054,7 @@ mod tests {
         assert_eq!(out.acks_sent, 2); // delayed ack: one per two frames
         assert_eq!(h.stack.rx_available(CONN), 4 * 1448);
 
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let got = h.stack.recvmsg(&mut ctx, CONN, 65536, false);
         assert_eq!(got, 4 * 1448);
         assert_eq!(h.stack.rx_available(CONN), 0);
@@ -1057,12 +1063,7 @@ mod tests {
     #[test]
     fn recvmsg_empty_queue_returns_zero() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         assert_eq!(h.stack.recvmsg(&mut ctx, CONN, 4096, false), 0);
     }
 
@@ -1070,22 +1071,12 @@ mod tests {
     fn rx_wake_only_on_empty_to_nonempty() {
         let mut h = harness();
         let rx_ring = h.rx_ring;
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let first = h
             .stack
             .rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
         assert!(first.wake_consumer);
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let second = h
             .stack
             .rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
@@ -1096,23 +1087,13 @@ mod tests {
     fn full_frames_take_expensive_timer_path() {
         let mut h = harness();
         let rx_ring = h.rx_ring;
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack
             .rx_bottom_half(&mut ctx, CONN, &[1448, 1448], rx_ring, false);
         let big_timers = h.prof.group_total(h.stack.registry(), "Timers").cycles;
         let mut h2 = harness();
         let rx_ring2 = h2.rx_ring;
-        let mut ctx = ExecCtx {
-            core: &mut h2.core,
-            mem: &mut h2.mem,
-            prof: &mut h2.prof,
-            rng: &mut h2.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h2.core, &mut h2.mem, &mut h2.prof, &mut h2.rng);
         h2.stack
             .rx_bottom_half(&mut ctx, CONN, &[128, 128], rx_ring2, false);
         let small_timers = h2.prof.group_total(h2.stack.registry(), "Timers").cycles;
@@ -1129,23 +1110,13 @@ mod tests {
         // Deliver + read twice; DMA'd payload is fresh each time, so the
         // copy must keep missing.
         for round in 0..2 {
-            let mut ctx = ExecCtx {
-                core: &mut h.core,
-                mem: &mut h.mem,
-                prof: &mut h.prof,
-                rng: &mut h.rng,
-            };
+            let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
             // Simulate the DMA that precedes the bottom half.
             let dma = h.stack.regions(CONN).rx_dma_buf;
             ctx.mem.dma_write(dma, round * 1448, 1448);
             h.stack
                 .rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
-            let mut ctx = ExecCtx {
-                core: &mut h.core,
-                mem: &mut h.mem,
-                prof: &mut h.prof,
-                rng: &mut h.rng,
-            };
+            let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
             h.stack.recvmsg(&mut ctx, CONN, 65536, false);
         }
         let copies = h
@@ -1161,29 +1132,14 @@ mod tests {
     fn tx_completion_and_ack_reduce_inflight() {
         let mut h = harness();
         let tx_ring = h.tx_ring;
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let segs = h.stack.sendmsg(&mut ctx, CONN, 8192, false);
         assert_eq!(h.stack.tx_inflight(CONN), segs.len() as u32);
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         for (i, &s) in segs.iter().enumerate() {
             h.stack.driver_tx(&mut ctx, CONN, tx_ring, i as u64, s);
         }
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack
             .tx_complete(&mut ctx, CONN, tx_ring, segs.len() as u32);
         assert_eq!(h.stack.tx_inflight(CONN), 0);
@@ -1194,12 +1150,7 @@ mod tests {
     #[test]
     fn irq_top_half_attributed_to_vector_symbol() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack.irq_top_half(&mut ctx, IrqVector::new(0x19));
         let func = h.stack.irq_func(IrqVector::new(0x19)).unwrap();
         assert_eq!(h.stack.registry().name(func), "IRQ0x19_interrupt");
@@ -1219,12 +1170,7 @@ mod tests {
         let mut core = Core::new(CpuId::new(0), CpuConfig::paper_sut());
         let mut prof = Profiler::new(2);
         let mut rng = SimRng::new(1);
-        let mut ctx = ExecCtx {
-            core: &mut core,
-            mem: &mut mem,
-            prof: &mut prof,
-            rng: &mut rng,
-        };
+        let mut ctx = ExecCtx::new(&mut core, &mut mem, &mut prof, &mut rng);
         stack.sendmsg(&mut ctx, CONN, 1448, true);
         let contended_locks = prof.group_total(stack.registry(), "Locks");
         assert!(stack.lock_stats(CONN).contended > 0);
@@ -1244,12 +1190,7 @@ mod tests {
     #[test]
     fn connect_resets_congestion_and_charges_engine() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         assert!(h.stack.is_established(CONN));
         assert_eq!(h.stack.tx_window(CONN), h.stack.config().initial_cwnd);
         // Ramp the window, then reconnect: it must reset.
@@ -1268,12 +1209,7 @@ mod tests {
     #[test]
     fn acks_grow_the_window_after_connect() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack.connect(&mut ctx, CONN, false);
         let w0 = h.stack.tx_window(CONN);
         h.stack.rx_ack(&mut ctx, CONN, w0, false);
@@ -1283,12 +1219,7 @@ mod tests {
     #[test]
     fn close_marks_unestablished() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let cycles = h.stack.close(&mut ctx, CONN, false);
         assert!(cycles > 0);
         assert!(!h.stack.is_established(CONN));
@@ -1299,12 +1230,7 @@ mod tests {
     #[test]
     fn retransmit_timeout_collapses_window() {
         let mut h = harness();
-        let mut ctx = ExecCtx {
-            core: &mut h.core,
-            mem: &mut h.mem,
-            prof: &mut h.prof,
-            rng: &mut h.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack.rx_ack(&mut ctx, CONN, 40, false); // ramp the window up
         let before = h.stack.tx_window(CONN);
         assert!(before > h.stack.config().initial_cwnd);

@@ -18,12 +18,29 @@ fn snapshot_line(label: &str, m: &RunMetrics) -> String {
     format!("{label}: {m:?}")
 }
 
+/// Compares rendered snapshot lines against the committed golden file,
+/// or rewrites it when `AFFSIM_BLESS` is set (only for a deliberate
+/// semantic change): `AFFSIM_BLESS=1 cargo test --test determinism golden`.
+fn compare_or_bless(file: &str, lines: &[String]) {
+    let rendered = format!("{}\n", lines.join("\n"));
+    let path = format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("AFFSIM_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).expect("committed golden snapshot");
+    for (got, want) in rendered.lines().zip(expected.lines()) {
+        assert_eq!(
+            got, want,
+            "simulation results diverged from the golden snapshot {file}"
+        );
+    }
+    assert_eq!(rendered, expected, "golden snapshot line count changed");
+}
+
 /// Guards the optimization work on the memory/coherence hot path: results
 /// must stay bit-identical to the snapshot captured *before* the flat
 /// directory, batched touches, and residency fast path landed.
-///
-/// Regenerate (only for a deliberate semantic change) with:
-/// `AFFSIM_BLESS=1 cargo test --test determinism golden`.
 #[test]
 fn results_match_committed_golden_snapshot() {
     let mut lines = Vec::new();
@@ -39,23 +56,28 @@ fn results_match_committed_golden_snapshot() {
             lines.push(snapshot_line(&label, &run.metrics));
         }
     }
-    let rendered = format!("{}\n", lines.join("\n"));
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/tests/golden/pre_optimization.snap"
-    );
-    if std::env::var_os("AFFSIM_BLESS").is_some() {
-        std::fs::write(path, &rendered).expect("write golden snapshot");
-        return;
+    compare_or_bless("pre_optimization.snap", &lines);
+}
+
+/// Guards the scaled configurations the paper never ran: 4 CPUs with one
+/// NIC queue per CPU and 12 flows multiplexed over them. Pins down the
+/// flow→NIC steering (round-robin in the Figure 3 modes, hash-steered
+/// under RSS) and the multi-flow bottom-half poll loop, so scale-path
+/// refactors can't silently shift results.
+#[test]
+fn four_cpu_scale_matches_committed_golden_snapshot() {
+    let mut lines = Vec::new();
+    for mode in [AffinityMode::Irq, AffinityMode::Full, AffinityMode::Rss] {
+        for dir in [Direction::Tx, Direction::Rx] {
+            let mut config = ExperimentConfig::scale(dir, 4, 12, mode).with_seed(0x5EED);
+            config.workload.warmup_messages = 2;
+            config.workload.measure_messages = 6;
+            let label = format!("{dir} 4cpu 12flows {}", mode.label());
+            let run = run_experiment(&config).unwrap();
+            lines.push(snapshot_line(&label, &run.metrics));
+        }
     }
-    let expected = std::fs::read_to_string(path).expect("committed golden snapshot");
-    for (got, want) in rendered.lines().zip(expected.lines()) {
-        assert_eq!(
-            got, want,
-            "simulation results diverged from the golden snapshot"
-        );
-    }
-    assert_eq!(rendered, expected, "golden snapshot line count changed");
+    compare_or_bless("four_cpu.snap", &lines);
 }
 
 #[test]

@@ -1,0 +1,136 @@
+//! Property tests for the run loop's cached ready-CPU index.
+//!
+//! `ready.rs` claims its generation-keyed bitmask plus strict-`<`
+//! ascending-bit scan reproduces the naive
+//! `(0..cpus).filter(cpu_has_work).min_by_key(|c| (clock, cpu))` pick
+//! exactly. These tests drive a real [`Scheduler`] through randomized
+//! wake/block/steal/advance sequences while maintaining the cache the
+//! same way the machine's run loop does — rebuilding **only** when the
+//! scheduler generation slips — and check the cached pick against a
+//! freshly computed naive scan at every step. A scheduler mutation that
+//! forgot to bump the generation, or a pick that broke the `(clock, cpu)`
+//! tie-break, fails here.
+
+use affinity_repro::substrate::{sim_core, sim_os};
+use affinity_repro::ReadyCpus;
+use proptest::prelude::*;
+use sim_core::CpuId;
+use sim_os::{CpuMask, Scheduler, SchedulerConfig};
+
+/// The run loop's runnability predicate (see `Machine::cpu_has_work`):
+/// a CPU has work when something is running on it, queued for it, or
+/// stealable into it while it idles.
+fn cpu_has_work(s: &Scheduler, c: usize) -> bool {
+    let cpu = CpuId::new(c as u32);
+    s.current(cpu).is_some()
+        || s.load(cpu) > 0
+        || (s.current(cpu).is_none() && s.can_steal_into(cpu))
+}
+
+/// The naive pick the cache must reproduce bit-for-bit.
+fn naive_pick(s: &Scheduler, clocks: &[u64]) -> Option<usize> {
+    (0..clocks.len())
+        .filter(|&c| cpu_has_work(s, c))
+        .min_by_key(|&c| (clocks[c], c))
+}
+
+/// Rebuilds the cache iff the generation slipped — exactly the run
+/// loop's refresh discipline.
+fn refresh(ready: &mut ReadyCpus, s: &Scheduler, cpus: usize) {
+    let generation = s.generation();
+    if ready.stale(generation) {
+        let mut mask = 0u64;
+        for c in 0..cpus {
+            if cpu_has_work(s, c) {
+                mask |= 1 << c;
+            }
+        }
+        ready.set(generation, mask);
+    }
+}
+
+proptest! {
+    /// The cached pick equals the naive scan across randomized
+    /// block/wake/steal/clock-advance sequences on 1..=8 CPUs.
+    #[test]
+    fn cached_pick_matches_naive_scan(
+        cpus in 1usize..9,
+        masks in prop::collection::vec(1u64..256, 1..10),
+        ops in prop::collection::vec((0usize..4, 0usize..64, 1u64..500), 0..300),
+    ) {
+        let mut s = Scheduler::new(SchedulerConfig::new(cpus));
+        let tasks: Vec<_> = masks
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                // Clip the affinity mask to the machine and keep it
+                // non-empty so the spawn is always valid.
+                let m = (m & ((1u64 << cpus) - 1)).max(1);
+                s.spawn(format!("t{i}"), CpuMask::from_bits(m)).unwrap()
+            })
+            .collect();
+        let mut clocks = vec![0u64; cpus];
+        let mut ready = ReadyCpus::new();
+        for (op, sel, delta) in ops {
+            refresh(&mut ready, &s, cpus);
+            prop_assert_eq!(
+                ready.pick(&clocks),
+                naive_pick(&s, &clocks),
+                "cached pick diverged before op {} (generation {})",
+                op,
+                s.generation()
+            );
+            let cpu = CpuId::new((sel % cpus) as u32);
+            match op {
+                // Wake (possibly re-wake) a task; placement policy and
+                // the wake_affine flag both exercised.
+                0 => {
+                    let task = tasks[sel % tasks.len()];
+                    let _ = s.wake(task, cpu, delta % 2 == 0);
+                }
+                // Run whatever is next on this CPU, then block it.
+                1 => {
+                    if s.current(cpu).is_none() {
+                        s.pick_next(cpu);
+                    }
+                    let _ = s.block_current(cpu);
+                }
+                // Advance the CPU's local clock: no scheduler mutation,
+                // no generation bump — the cache must stay valid while
+                // the pick tracks the new clocks.
+                2 => clocks[sel % cpus] += delta,
+                // An idle CPU pulls work across runqueues.
+                _ => {
+                    if s.current(cpu).is_none() {
+                        let _ = s.steal_into(cpu);
+                    }
+                }
+            }
+        }
+        refresh(&mut ready, &s, cpus);
+        prop_assert_eq!(ready.pick(&clocks), naive_pick(&s, &clocks));
+    }
+
+    /// Clock advances alone never invalidate the cache, yet the pick
+    /// still follows the `(clock, cpu)` lexicographic minimum.
+    #[test]
+    fn clock_advances_reuse_the_cached_mask(
+        advances in prop::collection::vec((0usize..4, 1u64..100), 1..50),
+    ) {
+        let cpus = 4;
+        let mut s = Scheduler::new(SchedulerConfig::new(cpus));
+        for i in 0..cpus {
+            let t = s.spawn(format!("t{i}"), CpuMask::single(CpuId::new(i as u32))).unwrap();
+            s.wake(t, CpuId::new(0), false).unwrap();
+        }
+        let mut clocks = vec![0u64; cpus];
+        let mut ready = ReadyCpus::new();
+        refresh(&mut ready, &s, cpus);
+        let generation = s.generation();
+        for (c, delta) in advances {
+            clocks[c] += delta;
+            prop_assert!(!ready.stale(generation), "clock advance must not stale the cache");
+            prop_assert_eq!(ready.pick(&clocks), naive_pick(&s, &clocks));
+        }
+    }
+}

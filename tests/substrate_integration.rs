@@ -60,21 +60,12 @@ fn cross_cpu_stack_execution_costs_more_than_colocated() {
         let mut total = 0u64;
         for round in 0..40 {
             {
-                let mut ctx = ExecCtx {
-                    core: &mut r.cores[0],
-                    mem: &mut r.mem,
-                    prof: &mut r.prof,
-                    rng: &mut r.rng,
-                };
+                let mut ctx = ExecCtx::new(&mut r.cores[0], &mut r.mem, &mut r.prof, &mut r.rng);
                 r.stack.sendmsg(&mut ctx, CONN, 8192, cross);
             }
             {
-                let mut ctx = ExecCtx {
-                    core: &mut r.cores[ack_cpu],
-                    mem: &mut r.mem,
-                    prof: &mut r.prof,
-                    rng: &mut r.rng,
-                };
+                let mut ctx =
+                    ExecCtx::new(&mut r.cores[ack_cpu], &mut r.mem, &mut r.prof, &mut r.rng);
                 r.stack.rx_ack(&mut ctx, CONN, 6, cross);
                 r.stack.tx_complete(&mut ctx, CONN, r.nic.tx_ring(), 6);
             }
@@ -102,12 +93,7 @@ fn dma_then_copy_misses_propagate_through_stack() {
         r.nic.dma_rx_frame(&mut r.mem, 1448);
     }
     {
-        let mut ctx = ExecCtx {
-            core: &mut r.cores[0],
-            mem: &mut r.mem,
-            prof: &mut r.prof,
-            rng: &mut r.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut r.cores[0], &mut r.mem, &mut r.prof, &mut r.rng);
         r.stack
             .rx_bottom_half(&mut ctx, CONN, &[1448; 4], rx_ring, false);
         r.stack.recvmsg(&mut ctx, CONN, 65536, false);
@@ -157,12 +143,7 @@ fn scheduler_and_ioapic_compose_for_the_four_modes() {
 fn profiler_totals_match_core_counters_for_stack_work() {
     let mut r = rig();
     {
-        let mut ctx = ExecCtx {
-            core: &mut r.cores[0],
-            mem: &mut r.mem,
-            prof: &mut r.prof,
-            rng: &mut r.rng,
-        };
+        let mut ctx = ExecCtx::new(&mut r.cores[0], &mut r.mem, &mut r.prof, &mut r.rng);
         r.stack.sendmsg(&mut ctx, CONN, 16384, false);
     }
     // Every cycle the core spent is attributed to some function.
