@@ -5,12 +5,13 @@ use sim_core::Result;
 use sim_cpu::CpuConfig;
 use sim_mem::MemoryConfig;
 use sim_net::NicConfig;
-use sim_prof::{FunctionRegistry, Profiler};
+use sim_prof::{FunctionRegistry, Profiler, SteerCounters};
 use sim_tcp::StackConfig;
 
 use crate::machine::Machine;
 use crate::metrics::RunMetrics;
 use crate::mode::AffinityMode;
+use crate::steer::SteerSpec;
 use crate::workload::{Direction, Workload};
 
 /// Timing/capacity knobs of the machine model that are not part of any
@@ -54,13 +55,6 @@ pub struct Tunables {
     pub clears_per_device_interrupt: u32,
     /// Pipeline flushes per IPI received.
     pub clears_per_ipi: u32,
-    /// Receive-side-scaling-style dynamic steering: the NIC directs each
-    /// connection's interrupts to the CPU where its consumer process
-    /// last ran — the future hardware the paper's conclusion sketches
-    /// ("adapters that can direct connections and interrupts,
-    /// dynamically, to a specific processor"). Overrides the static
-    /// IO-APIC route whenever the process has run somewhere.
-    pub dynamic_steering: bool,
     /// Linux 2.6-style interrupt rotation period in cycles (0 = off):
     /// every period, each vector's affinity moves to the next CPU —
     /// the related-work scheme whose "cache inefficiencies are still
@@ -97,7 +91,6 @@ impl Default for Tunables {
             clears_per_device_interrupt: 3,
             clears_per_ipi: 8,
             irq_load_gate: 0.10,
-            dynamic_steering: false,
             irq_rotation_cycles: 0,
             loss_rate: 0.0,
             rto_cycles: 400_000,
@@ -133,6 +126,12 @@ pub struct ExperimentConfig {
     pub nic: NicConfig,
     /// Machine-level knobs.
     pub tunables: Tunables,
+    /// Explicit steering configuration. `None` (the default everywhere)
+    /// falls back to the [`AffinityMode`] preset bundle —
+    /// [`AffinityMode::steer_preset`] — so the paper matrix is untouched;
+    /// `Some` overrides the mode entirely (e.g.
+    /// [`SteerSpec::flow_director`]).
+    pub steer: Option<SteerSpec>,
 }
 
 impl ExperimentConfig {
@@ -151,7 +150,16 @@ impl ExperimentConfig {
             stack: StackConfig::paper(),
             nic: NicConfig::default(),
             tunables: Tunables::default(),
+            steer: None,
         }
+    }
+
+    /// The effective steering configuration: the explicit [`SteerSpec`]
+    /// when set, the mode's preset bundle otherwise. The machine builds
+    /// its policy from this — it never looks at the mode directly.
+    #[must_use]
+    pub fn steer_spec(&self) -> SteerSpec {
+        self.steer.unwrap_or_else(|| self.mode.steer_preset())
     }
 
     /// The §5 four-processor variant (4 CPUs, still 8 NICs).
@@ -185,6 +193,30 @@ impl ExperimentConfig {
         config
     }
 
+    /// A multi-queue SUT for the steering sweep: `cpus` CPUs, one NIC
+    /// port per four CPUs (minimum one) with four MSI-X queues each —
+    /// so queues total `cpus` when `cpus >= 4` — carrying `flows`
+    /// connections under an explicit steering `spec`. Quick-run message
+    /// counts, like [`ExperimentConfig::scale`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is outside `1..=64` or `flows` is zero.
+    #[must_use]
+    pub fn steer_sweep(direction: Direction, cpus: usize, flows: usize, spec: SteerSpec) -> Self {
+        assert!((1..=64).contains(&cpus), "steer_sweep supports 1..=64 CPUs");
+        assert!(flows > 0, "need at least one flow");
+        let mut config = ExperimentConfig::paper_sut(direction, 4096, AffinityMode::Irq);
+        config.cpus = cpus;
+        config.nics = (cpus / 4).max(1);
+        config.nic.queues = 4;
+        config.connections = flows;
+        config.mem = MemoryConfig::paper_sut(cpus);
+        config.workload = config.workload.quick();
+        config.steer = Some(spec);
+        config
+    }
+
     /// Shrinks the workload for fast tests.
     #[must_use]
     pub fn quick(mut self) -> Self {
@@ -212,8 +244,12 @@ pub struct RunResult {
     pub profiler: Profiler,
     /// Symbol table matching the profiler.
     pub registry: FunctionRegistry,
-    /// Interrupt vectors in NIC order.
+    /// Interrupt vectors in global queue order (one per NIC on the
+    /// paper SUT's single-queue ports).
     pub vectors: Vec<sim_core::IrqVector>,
+    /// Steering counters from the measurement window (all zero under
+    /// the paper's static modes).
+    pub steer: SteerCounters,
 }
 
 /// Builds the machine, runs the workload to completion and returns the
@@ -243,6 +279,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<RunResult> {
         profiler: machine.profiler().clone(),
         registry: machine.registry().clone(),
         vectors: machine.vectors().to_vec(),
+        steer: machine.steer_stats(),
     })
 }
 
@@ -347,5 +384,51 @@ mod tests {
         let a = run_experiment(&config).unwrap();
         let b = run_experiment(&config).unwrap();
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn steer_spec_falls_back_to_the_mode_preset() {
+        let c = ExperimentConfig::paper_sut(Direction::Tx, 4096, AffinityMode::Full);
+        assert_eq!(c.steer_spec(), AffinityMode::Full.steer_preset());
+        let mut c = c;
+        c.steer = Some(SteerSpec::flow_director());
+        assert_eq!(c.steer_spec(), SteerSpec::flow_director());
+    }
+
+    #[test]
+    fn steer_sweep_builds_multi_queue_suts() {
+        let c = ExperimentConfig::steer_sweep(Direction::Rx, 16, 64, SteerSpec::flow_director());
+        assert_eq!(c.cpus, 16);
+        assert_eq!(c.nics, 4);
+        assert_eq!(c.nic.queues, 4);
+        assert_eq!(c.connections, 64);
+        let small = ExperimentConfig::steer_sweep(Direction::Rx, 2, 8, SteerSpec::flow_director());
+        assert_eq!(small.nics, 1, "at least one NIC port");
+    }
+
+    #[test]
+    fn flow_director_run_completes_and_resteers() {
+        let mut config =
+            ExperimentConfig::steer_sweep(Direction::Rx, 4, 12, SteerSpec::flow_director());
+        config.workload.warmup_messages = 2;
+        config.workload.measure_messages = 3;
+        let r = run_experiment(&config).unwrap();
+        assert_eq!(r.metrics.messages, 3 * 12);
+        assert!(r.metrics.throughput_gbps() > 0.0);
+        // The director chases free-running consumers: some re-steering
+        // must have happened on a 4-CPU box with 12 unpinned flows.
+        assert!(r.steer.resteers > 0, "{:?}", r.steer);
+    }
+
+    #[test]
+    fn flow_director_runs_are_deterministic() {
+        let mut config =
+            ExperimentConfig::steer_sweep(Direction::Rx, 4, 12, SteerSpec::flow_director());
+        config.workload.warmup_messages = 2;
+        config.workload.measure_messages = 3;
+        let a = run_experiment(&config).unwrap();
+        let b = run_experiment(&config).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.steer, b.steer);
     }
 }

@@ -47,6 +47,7 @@ mod metrics;
 mod mode;
 mod ready;
 pub mod report;
+pub mod steer;
 mod workload;
 
 pub use experiment::{run_experiment, ExperimentConfig, RunResult};
@@ -54,4 +55,8 @@ pub use machine::{should_trace, Machine};
 pub use metrics::{BinBreakdown, RunMetrics};
 pub use mode::AffinityMode;
 pub use ready::ReadyCpus;
+pub use sim_net::CoalesceConfig;
+pub use steer::{
+    DynamicSteer, FlowPlacement, SteerDecision, SteerSpec, SteeringPolicy, VectorLayout,
+};
 pub use workload::{Direction, Workload, PAPER_SIZES};

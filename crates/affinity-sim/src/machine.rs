@@ -25,12 +25,13 @@ use sim_cpu::{ClearReason, Core, PerfCounters};
 use sim_mem::MemorySystem;
 use sim_net::{Nic, Peer, PeerConfig};
 use sim_os::{CpuMask, IoApic, IpiFabric, IpiKind, Scheduler, SchedulerConfig};
-use sim_prof::{FuncId, Profiler};
+use sim_prof::{FuncId, Profiler, SteerCounters};
 use sim_tcp::{Bin, ExecCtx, TcpStack};
 
 use crate::experiment::ExperimentConfig;
 use crate::metrics::{BinBreakdown, RunMetrics};
 use crate::ready::ReadyCpus;
+use crate::steer::{even_home, SteeringPolicy};
 use crate::workload::Direction;
 
 /// True when run-loop iteration `guard` should emit a trace line: every
@@ -55,8 +56,8 @@ enum Event {
     AckArrival { flow: usize, acked: u32 },
     /// The flow's NIC transmits one queued frame (TX workload).
     WireTx { flow: usize, bytes: u32 },
-    /// Interrupt-moderation timer for a NIC port.
-    CoalesceFlush { nic: usize, armed_at: u64 },
+    /// Interrupt-moderation timer for one hardware queue.
+    CoalesceFlush { queue: usize, armed_at: u64 },
     /// Retransmission timeout for a lost frame of a flow.
     RtoFire { flow: usize, bytes: u32 },
     /// Linux 2.6-style periodic interrupt rotation.
@@ -98,21 +99,34 @@ pub struct Machine {
     prof: Profiler,
     rng: SimRng,
     events: EventQueue<Event>,
+    /// MSI-X vector of each hardware queue, in global queue order.
     vectors: Vec<IrqVector>,
     ready: ReadyCpus,
+
+    /// The steering policy (placement/layout consulted at construction,
+    /// dynamic hooks on the interrupt path). Built once from the
+    /// experiment's [`SteerSpec`](crate::steer::SteerSpec) — no
+    /// `AffinityMode` dispatch survives in the run loop.
+    steering: Box<dyn SteeringPolicy>,
+    steer_stats: SteerCounters,
 
     tasks: Vec<TaskRun>,
     task_of_conn: Vec<usize>,
     last_task_on: Vec<Option<TaskId>>,
     run_since_sched: Vec<u64>,
 
-    /// NIC port carrying each flow: round-robin (`flow % nics`) in the
-    /// paper's modes (identity when `connections == nics`, the paper
-    /// SUT), RSS-hashed under [`AffinityMode::Rss`](crate::AffinityMode).
-    flow_nic: Vec<usize>,
-    /// Flows of each NIC port, ascending — bottom halves drain a port's
+    /// Hardware queue carrying each flow (global queue index): the
+    /// steering policy's placement — round-robin reduces to the identity
+    /// map on the paper SUT, RSS hashing spreads flows like a real
+    /// indirection table.
+    flow_queue: Vec<usize>,
+    /// Flows of each queue, ascending — bottom halves drain a queue's
     /// flows in this order.
-    nic_flows: Vec<Vec<usize>>,
+    queue_flows: Vec<Vec<usize>>,
+    /// NIC port owning each global queue.
+    queue_nic: Vec<usize>,
+    /// Queue index local to its NIC port.
+    queue_local: Vec<usize>,
 
     // Per-flow state.
     flow_rx_pending: Vec<Vec<u32>>,
@@ -127,7 +141,7 @@ pub struct Machine {
     last_softirq_cpu: Vec<Option<CpuId>>,
     last_process_cpu: Vec<Option<CpuId>>,
 
-    // Per-NIC-port state.
+    // Per-queue state.
     nic_activity: Vec<u64>,
     flush_armed: Vec<bool>,
     /// Cycles each CPU has spent in interrupt context (top halves,
@@ -166,25 +180,29 @@ impl Machine {
         let mut mem = MemorySystem::new(config.mem.clone());
         let mut rng = SimRng::new(config.seed);
 
-        // Flow→NIC steering. Round-robin reduces to the identity map on
-        // the paper SUT (`connections == nics`), keeping those runs
-        // bit-identical; RSS spreads flows by hash like a real
-        // receive-side-scaling indirection table.
-        let flow_nic: Vec<usize> = (0..flows)
-            .map(|f| {
-                if config.mode.rss_steered() {
-                    ((f as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % nics_n
-                } else {
-                    f % nics_n
-                }
-            })
-            .collect();
-        let mut nic_flows = vec![Vec::new(); nics_n];
-        for (f, &n) in flow_nic.iter().enumerate() {
-            nic_flows[n].push(f);
-        }
+        // Build the steering policy once; the run loop only ever sees
+        // the trait object.
+        let spec = config.steer_spec();
+        let steering = spec.build();
 
-        let vectors: Vec<IrqVector> = (0..nics_n)
+        let queues_per_nic = config.nic.queues.max(1) as usize;
+        let total_queues = nics_n * queues_per_nic;
+
+        // Flow→queue steering per the policy's placement. Round-robin
+        // reduces to the identity map on the paper SUT
+        // (`connections == nics`, one queue per port), keeping those
+        // runs bit-identical.
+        let flow_queue: Vec<usize> = (0..flows)
+            .map(|f| steering.place_flow(f, total_queues))
+            .collect();
+        let mut queue_flows = vec![Vec::new(); total_queues];
+        for (f, &q) in flow_queue.iter().enumerate() {
+            queue_flows[q].push(f);
+        }
+        let queue_nic: Vec<usize> = (0..total_queues).map(|q| q / queues_per_nic).collect();
+        let queue_local: Vec<usize> = (0..total_queues).map(|q| q % queues_per_nic).collect();
+
+        let vectors: Vec<IrqVector> = (0..total_queues)
             .map(|i| {
                 let base = PAPER_VECTORS[i % PAPER_VECTORS.len()];
                 IrqVector::new(base + (i / PAPER_VECTORS.len()) as u32 * 0x10)
@@ -192,11 +210,23 @@ impl Machine {
             .collect();
 
         let nics: Vec<Nic> = (0..nics_n)
-            .map(|i| Nic::new(DeviceId::new(i as u32), vectors[i], config.nic, &mut mem))
+            .map(|i| {
+                Nic::new(
+                    DeviceId::new(i as u32),
+                    &vectors[i * queues_per_nic..(i + 1) * queues_per_nic],
+                    config.nic,
+                    &mut mem,
+                )
+            })
             .collect();
 
-        // Each flow DMAs through its NIC's receive buffers.
-        let dma_regions: Vec<_> = (0..flows).map(|f| nics[flow_nic[f]].rx_buffers()).collect();
+        // Each flow DMAs through its queue's receive buffers.
+        let dma_regions: Vec<_> = (0..flows)
+            .map(|f| {
+                let q = flow_queue[f];
+                nics[queue_nic[q]].rx_buffers(queue_local[q])
+            })
+            .collect();
         let stack = TcpStack::new(
             config.stack.clone(),
             &mut mem,
@@ -208,21 +238,22 @@ impl Machine {
         let mut apic = IoApic::new(cpus);
         let mut sched = Scheduler::new(SchedulerConfig::new(cpus));
 
-        // Apply the affinity mode.
-        let home_cpu = |i: usize| CpuId::new((i * cpus / nics_n) as u32);
-        if config.mode.irq_split() {
-            for (i, &v) in vectors.iter().enumerate() {
-                apic.set_affinity(v, CpuMask::single(home_cpu(i)))?;
-            }
+        // Program the static vector layout the policy prescribes
+        // (everything-on-CPU0 layouts write the routing default back,
+        // which is a no-op for delivery).
+        for (q, &v) in vectors.iter().enumerate() {
+            let home = steering.vector_home(q, total_queues, cpus);
+            apic.set_affinity(v, CpuMask::single(home))?;
         }
         let mut tasks = Vec::new();
         let mut task_of_conn = Vec::new();
-        for (i, &nic) in flow_nic.iter().enumerate() {
-            // A pinned process lives on the CPU that services its NIC's
-            // vector (identical to the old per-connection pin on the
-            // paper SUT, where flow i rides NIC i).
-            let mask = if config.mode.processes_pinned() {
-                CpuMask::single(home_cpu(nic))
+        for (i, &q) in flow_queue.iter().enumerate() {
+            // A pinned process lives on its queue's even-spread home CPU
+            // (the paper's `sched_setaffinity` half — identical to the
+            // old per-connection pin on the paper SUT, where flow i
+            // rides queue i).
+            let mask = if spec.pin_processes {
+                CpuMask::single(even_home(q, total_queues, cpus))
             } else {
                 CpuMask::all(cpus)
             };
@@ -269,25 +300,29 @@ impl Machine {
             peers,
             prof: Profiler::new(cpus),
             rng,
-            // Steady state carries a few in-flight events per NIC (wire
-            // segments, ACKs, coalescing timers); pre-size so the heap
-            // never reallocates mid-run.
+            // Steady state carries a few in-flight events per queue
+            // (wire segments, ACKs, coalescing timers); pre-size so the
+            // heap never reallocates mid-run.
             events: EventQueue::with_capacity(
-                64 * nics_n + config.tunables.peer_window as usize * flows,
+                64 * total_queues + config.tunables.peer_window as usize * flows,
             ),
             ready: ReadyCpus::new(),
+            steering,
+            steer_stats: SteerCounters::default(),
             tasks,
             task_of_conn,
             last_task_on: vec![None; cpus],
             run_since_sched: vec![0; cpus],
-            flow_nic,
-            nic_flows,
+            flow_queue,
+            queue_flows,
+            queue_nic,
+            queue_local,
             flow_rx_pending: vec![Vec::new(); flows],
             flow_ack_pending: vec![0; flows],
             flow_ack_frames: vec![0; flows],
             flow_txdone_pending: vec![0; flows],
-            nic_activity: vec![0; nics_n],
-            flush_armed: vec![false; nics_n],
+            nic_activity: vec![0; total_queues],
+            flush_armed: vec![false; total_queues],
             wire_cursor: vec![0; flows],
             tx_wire_offset: vec![0; flows],
             peer_inflight: vec![0; flows],
@@ -324,12 +359,21 @@ impl Machine {
         u64::from(payload + 66) * self.config.tunables.wire_cycles_per_byte
     }
 
-    fn arm_flush(&mut self, nic: usize, at: u64) {
-        if !self.flush_armed[nic] {
-            self.flush_armed[nic] = true;
+    fn arm_flush(&mut self, queue: usize, at: u64) {
+        if !self.flush_armed[queue] {
+            self.flush_armed[queue] = true;
+            // The queue's coalescer may carry its own moderation-timer
+            // period (adaptive policies); fixed-count falls back to the
+            // machine-level default.
+            let timeout = self.nics[self.queue_nic[queue]]
+                .flush_timeout(self.queue_local[queue])
+                .unwrap_or(self.config.tunables.coalesce_flush_cycles);
             self.push_event(
-                at + self.config.tunables.coalesce_flush_cycles,
-                Event::CoalesceFlush { nic, armed_at: at },
+                at + timeout,
+                Event::CoalesceFlush {
+                    queue,
+                    armed_at: at,
+                },
             );
         }
     }
@@ -579,7 +623,8 @@ impl Machine {
                 &mut self.rng,
             );
             let segs = self.stack.sendmsg(&mut ctx, conn_id, chunk_bytes, cross);
-            let tx_ring = self.nics[self.flow_nic[conn]].tx_ring();
+            let queue = self.flow_queue[conn];
+            let tx_ring = self.nics[self.queue_nic[queue]].tx_ring(self.queue_local[queue]);
             for (i, &seg) in segs.iter().enumerate() {
                 self.stack
                     .driver_tx(&mut ctx, conn_id, tx_ring, i as u64, seg);
@@ -591,6 +636,7 @@ impl Machine {
         self.sched.charge_current(cpu, delta);
         self.run_since_sched[c] += delta;
         self.last_process_cpu[conn] = Some(cpu);
+        self.steering.consumer_ran(conn, cpu, &mut self.steer_stats);
 
         // Frames leave on the wire, serialized per NIC.
         let now = self.clocks[c];
@@ -640,6 +686,7 @@ impl Machine {
         self.sched.charge_current(cpu, delta);
         self.run_since_sched[c] += delta;
         self.last_process_cpu[conn] = Some(cpu);
+        self.steering.consumer_ran(conn, cpu, &mut self.steer_stats);
 
         let now = self.clocks[c];
         // Reading freed socket-buffer space: the advertised window opens.
@@ -664,41 +711,58 @@ impl Machine {
         let t = time.cycles();
         match event {
             Event::FrameArrival { flow, bytes } => {
-                let nic = self.flow_nic[flow];
-                let raise = self.nics[nic].dma_rx_frame(&mut self.mem, bytes);
+                let queue = self.flow_queue[flow];
+                let raise = self.nics[self.queue_nic[queue]].dma_rx_frame(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    bytes,
+                    t,
+                );
                 self.flow_rx_pending[flow].push(bytes);
-                self.nic_activity[nic] = t;
+                self.nic_activity[queue] = t;
                 if raise {
-                    self.deliver_interrupt(nic, t + self.config.tunables.irq_latency_cycles);
+                    self.deliver_interrupt(queue, t + self.config.tunables.irq_latency_cycles);
                 } else {
-                    self.arm_flush(nic, t);
+                    self.arm_flush(queue, t);
                 }
             }
             Event::AckArrival { flow, acked } => {
-                let nic = self.flow_nic[flow];
-                let raise = self.nics[nic].dma_rx_frame(&mut self.mem, 66);
+                let queue = self.flow_queue[flow];
+                let raise = self.nics[self.queue_nic[queue]].dma_rx_frame(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    66,
+                    t,
+                );
                 self.flow_ack_pending[flow] += acked;
                 self.flow_ack_frames[flow] += 1;
-                self.nic_activity[nic] = t;
+                self.nic_activity[queue] = t;
                 if raise {
-                    self.deliver_interrupt(nic, t + self.config.tunables.irq_latency_cycles);
+                    self.deliver_interrupt(queue, t + self.config.tunables.irq_latency_cycles);
                 } else {
-                    self.arm_flush(nic, t);
+                    self.arm_flush(queue, t);
                 }
             }
             Event::WireTx { flow, bytes } => {
-                let nic = self.flow_nic[flow];
+                let queue = self.flow_queue[flow];
                 let conn_id = ConnectionId::new(flow as u32);
                 let skb_data = self.stack.regions(conn_id).skb_data;
                 let off = self.tx_wire_offset[flow];
                 self.tx_wire_offset[flow] += u64::from(bytes);
-                let raise = self.nics[nic].dma_tx_frame(&mut self.mem, skb_data, off, bytes);
+                let raise = self.nics[self.queue_nic[queue]].dma_tx_frame(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    skb_data,
+                    off,
+                    bytes,
+                    t,
+                );
                 self.flow_txdone_pending[flow] += 1;
-                self.nic_activity[nic] = t;
+                self.nic_activity[queue] = t;
                 if raise {
-                    self.deliver_interrupt(nic, t + self.config.tunables.irq_latency_cycles);
+                    self.deliver_interrupt(queue, t + self.config.tunables.irq_latency_cycles);
                 } else {
-                    self.arm_flush(nic, t);
+                    self.arm_flush(queue, t);
                 }
                 if bytes > 0 && self.rng.chance(self.config.tunables.loss_rate) {
                     // Lost on the wire: the peer never sees it; Reno's
@@ -725,20 +789,20 @@ impl Machine {
                     );
                 }
             }
-            Event::CoalesceFlush { nic, armed_at } => {
-                self.flush_armed[nic] = false;
-                if self.nic_activity[nic] > armed_at {
-                    self.arm_flush(nic, self.nic_activity[nic]);
+            Event::CoalesceFlush { queue, armed_at } => {
+                self.flush_armed[queue] = false;
+                if self.nic_activity[queue] > armed_at {
+                    self.arm_flush(queue, self.nic_activity[queue]);
                 } else {
-                    if self.nics[nic].flush_coalescing() {
-                        self.deliver_interrupt(nic, t);
+                    if self.nics[self.queue_nic[queue]].flush_coalescing(self.queue_local[queue]) {
+                        self.deliver_interrupt(queue, t);
                     }
                     if self.config.workload.direction == Direction::Tx {
                         // Flush the delayed-ACK timers of every flow on
-                        // this port, ascending (one flow per port on the
-                        // paper SUT).
-                        for i in 0..self.nic_flows[nic].len() {
-                            let flow = self.nic_flows[nic][i];
+                        // this queue, ascending (one flow per queue on
+                        // the paper SUT).
+                        for i in 0..self.queue_flows[queue].len() {
+                            let flow = self.queue_flows[queue][i];
                             if let Some(_ack) = self.peers[flow].flush_ack() {
                                 self.push_event(
                                     t + self.config.tunables.rtt_cycles,
@@ -752,7 +816,7 @@ impl Machine {
             Event::RtoFire { flow, bytes } => {
                 // Timer softirq runs on the vector's CPU: collapse the
                 // window, rebuild the segment, requeue it on the wire.
-                let vector = self.vectors[self.flow_nic[flow]];
+                let vector = self.vectors[self.flow_queue[flow]];
                 let target = self.apic.route(vector);
                 let c = target.index();
                 self.clocks[c] = self.clocks[c].max(t);
@@ -811,20 +875,32 @@ impl Machine {
         }
     }
 
-    fn deliver_interrupt(&mut self, nic: usize, t: u64) {
-        let vector = self.vectors[nic];
+    fn deliver_interrupt(&mut self, queue: usize, t: u64) {
+        let vector = self.vectors[queue];
         let mut target = self.apic.deliver(vector);
-        if self.config.tunables.dynamic_steering {
-            // Flow-director future: the device steers the interrupt to
-            // wherever the consumer of the port's first pending flow
-            // last ran (the port's only flow on the paper SUT).
-            let flow = self.nic_flows[nic]
+        let mut t = t;
+        if self.steering.dynamic() {
+            // Directed steering (Flow Director / aRFS): re-target the
+            // queue's vector to wherever the consumer of the queue's
+            // first pending flow last ran (the queue's only flow on the
+            // paper SUT). Reprogramming is a real MSI rewrite: it costs
+            // delivery latency and is visible in the APIC's route for
+            // subsequent deliveries.
+            let flow = self.queue_flows[queue]
                 .iter()
                 .copied()
                 .find(|&f| self.flow_has_pending(f))
-                .or_else(|| self.nic_flows[nic].first().copied());
-            if let Some(cpu) = flow.and_then(|f| self.last_process_cpu[f]) {
-                target = cpu;
+                .or_else(|| self.queue_flows[queue].first().copied());
+            if let Some(decision) = flow.and_then(|f| self.steering.steer(f, &mut self.steer_stats))
+            {
+                if decision.target != target {
+                    self.apic
+                        .retarget(vector, decision.target)
+                        .expect("steer target is an online CPU");
+                    self.steer_stats.resteers += 1;
+                    t += decision.resteer_cycles;
+                    target = decision.target;
+                }
             }
         }
         let c = target.index();
@@ -854,7 +930,7 @@ impl Machine {
                 * self.config.cpu.costs.machine_clear;
 
         // Bottom half runs right here, on the same CPU.
-        self.run_bottom_half(c, nic);
+        self.run_bottom_half(c, queue);
         self.irq_cycles[c] += self.cores[c].busy_cycles() - irq_start;
 
         // Refresh the scheduler's view of interrupt pressure so wakeup
@@ -912,18 +988,20 @@ impl Machine {
             || !self.flow_rx_pending[flow].is_empty()
     }
 
-    /// The NAPI poll loop of one port's softirq: drains every flow of
-    /// the port in ascending flow order (exactly the single-flow body on
-    /// the paper SUT, where each port carries one connection).
-    fn run_bottom_half(&mut self, c: usize, nic: usize) {
-        for i in 0..self.nic_flows[nic].len() {
-            let flow = self.nic_flows[nic][i];
-            self.run_flow_bottom_half(c, nic, flow);
+    /// The NAPI poll loop of one queue's softirq: drains every flow of
+    /// the queue in ascending flow order (exactly the single-flow body
+    /// on the paper SUT, where each queue carries one connection).
+    fn run_bottom_half(&mut self, c: usize, queue: usize) {
+        for i in 0..self.queue_flows[queue].len() {
+            let flow = self.queue_flows[queue][i];
+            self.run_flow_bottom_half(c, queue, flow);
         }
     }
 
-    fn run_flow_bottom_half(&mut self, c: usize, nic: usize, flow: usize) {
+    fn run_flow_bottom_half(&mut self, c: usize, queue: usize, flow: usize) {
         let cpu = CpuId::new(c as u32);
+        let nic = self.queue_nic[queue];
+        let local = self.queue_local[queue];
         let conn_id = ConnectionId::new(flow as u32);
         let cross = self.last_process_cpu[flow].is_some_and(|p| p != cpu);
         let before = self.cores[c].busy_cycles();
@@ -942,14 +1020,14 @@ impl Machine {
                 &mut self.rng,
             );
             if txdone > 0 {
-                let tx_ring = self.nics[nic].tx_ring();
+                let tx_ring = self.nics[nic].tx_ring(local);
                 self.stack.tx_complete(&mut ctx, conn_id, tx_ring, txdone);
             }
             if acked > 0 {
                 self.stack.rx_ack(&mut ctx, conn_id, acked, cross);
             }
             if !frames.is_empty() {
-                let rx_ring = self.nics[nic].rx_ring();
+                let rx_ring = self.nics[nic].rx_ring(local);
                 let outcome = self
                     .stack
                     .rx_bottom_half(&mut ctx, conn_id, &frames, rx_ring, cross);
@@ -957,14 +1035,27 @@ impl Machine {
             }
         }
         if ack_frames > 0 {
-            self.nics[nic].reclaim_rx(ack_frames);
+            self.nics[nic].reclaim_rx(local, ack_frames);
         }
         if !frames.is_empty() {
-            self.nics[nic].reclaim_rx(frames.len() as u32);
+            self.nics[nic].reclaim_rx(local, frames.len() as u32);
             self.peer_inflight[flow] = self.peer_inflight[flow].saturating_sub(frames.len() as u32);
         }
         let delta = self.cores[c].busy_cycles() - before;
         self.clocks[c] += delta;
+        // Out-of-order-completion signature (Wu et al.): data frames of
+        // this flow completing on a different CPU than the previous
+        // batch means the in-window ordering the consumer observes can
+        // interleave — the reordering pathology of directed steering
+        // migrating a flow mid-window. Tracked for every policy so
+        // sweeps can compare.
+        if !frames.is_empty() {
+            if let Some(prev) = self.last_softirq_cpu[flow] {
+                if prev != cpu {
+                    self.steer_stats.ooo_completions += frames.len() as u64;
+                }
+            }
+        }
         self.last_softirq_cpu[flow] = Some(cpu);
         let now = self.clocks[c];
 
@@ -1064,6 +1155,7 @@ impl Machine {
         self.sched.reset_stats();
         self.apic.reset_stats();
         self.ipi.reset_stats();
+        self.steer_stats = SteerCounters::default();
         for nic in &mut self.nics {
             nic.reset_stats();
         }
@@ -1125,10 +1217,37 @@ impl Machine {
         self.stack.registry()
     }
 
-    /// The interrupt vectors in NIC order.
+    /// The interrupt vectors in global queue order (one per NIC on the
+    /// paper SUT's single-queue ports).
     #[must_use]
     pub fn vectors(&self) -> &[IrqVector] {
         &self.vectors
+    }
+
+    /// Steering counters for the measurement window (re-steers, filter
+    /// rejects, out-of-order completions).
+    #[must_use]
+    pub fn steer_stats(&self) -> SteerCounters {
+        self.steer_stats
+    }
+
+    /// The hardware queue carrying each flow (global queue index).
+    #[must_use]
+    pub fn flow_queues(&self) -> &[usize] {
+        &self.flow_queue
+    }
+
+    /// Name of the active steering policy.
+    #[must_use]
+    pub fn steering_name(&self) -> &'static str {
+        self.steering.name()
+    }
+
+    /// Dynamic vector re-targets performed by the IO-APIC (measurement
+    /// window).
+    #[must_use]
+    pub fn apic_retargets(&self) -> u64 {
+        self.apic.retargets()
     }
 
     /// IPIs received per CPU (reschedule kind).

@@ -4,6 +4,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::steer::{DynamicSteer, FlowPlacement, SteerSpec, VectorLayout};
+
 /// How processes and interrupts are bound to processors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum AffinityMode {
@@ -70,6 +72,28 @@ impl AffinityMode {
     pub fn rss_steered(self) -> bool {
         matches!(self, AffinityMode::Rss)
     }
+
+    /// The steering-policy bundle this mode presets. This is the *only*
+    /// place the mode enum is interpreted — the machine consumes the
+    /// resulting [`SteerSpec`], never the enum.
+    #[must_use]
+    pub fn steer_preset(self) -> SteerSpec {
+        let (placement, vectors) = match self {
+            AffinityMode::None | AffinityMode::Process => {
+                (FlowPlacement::RoundRobin, VectorLayout::AllCpu0)
+            }
+            AffinityMode::Irq | AffinityMode::Full => {
+                (FlowPlacement::RoundRobin, VectorLayout::SplitEven)
+            }
+            AffinityMode::Rss => (FlowPlacement::RssHash, VectorLayout::SplitEven),
+        };
+        SteerSpec {
+            placement,
+            vectors,
+            dynamic: DynamicSteer::Off,
+            pin_processes: self.processes_pinned(),
+        }
+    }
 }
 
 impl fmt::Display for AffinityMode {
@@ -107,6 +131,31 @@ mod tests {
         assert!(AffinityMode::Rss.rss_steered());
         for mode in AffinityMode::ALL {
             assert!(!mode.rss_steered(), "{mode} must use round-robin flows");
+        }
+    }
+
+    #[test]
+    fn presets_encode_the_knob_matrix() {
+        for mode in [
+            AffinityMode::None,
+            AffinityMode::Irq,
+            AffinityMode::Process,
+            AffinityMode::Full,
+            AffinityMode::Rss,
+        ] {
+            let spec = mode.steer_preset();
+            assert_eq!(
+                spec.vectors == VectorLayout::SplitEven,
+                mode.irq_split(),
+                "{mode}"
+            );
+            assert_eq!(spec.pin_processes, mode.processes_pinned(), "{mode}");
+            assert_eq!(
+                spec.placement == FlowPlacement::RssHash,
+                mode.rss_steered(),
+                "{mode}"
+            );
+            assert_eq!(spec.dynamic, DynamicSteer::Off, "{mode}");
         }
     }
 

@@ -1,0 +1,214 @@
+//! Concrete steering policies.
+
+use sim_core::CpuId;
+use sim_prof::SteerCounters;
+
+use super::{even_home, FlowPlacement, SteerDecision, SteeringPolicy};
+
+/// Everything on CPU0: the Linux 2.4 / NT default IO-APIC programming
+/// the paper's "no affinity" and "process affinity" modes inherit.
+/// Placement still decides which queue a flow rides (round-robin on the
+/// paper SUT).
+#[derive(Debug, Clone, Copy)]
+pub struct StaticIrq {
+    placement: FlowPlacement,
+}
+
+impl StaticIrq {
+    /// A CPU0-homed layout over `placement`-placed flows.
+    #[must_use]
+    pub fn new(placement: FlowPlacement) -> Self {
+        StaticIrq { placement }
+    }
+}
+
+impl SteeringPolicy for StaticIrq {
+    fn name(&self) -> &'static str {
+        "static-irq"
+    }
+
+    fn place_flow(&self, flow: usize, queues: usize) -> usize {
+        self.placement.place(flow, queues)
+    }
+
+    fn vector_home(&self, _queue: usize, _queues: usize, _cpus: usize) -> CpuId {
+        CpuId::new(0)
+    }
+}
+
+/// Round-robin flows, vectors split evenly — the paper's `smp_affinity`
+/// IRQ-affinity wiring.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundRobin;
+
+impl SteeringPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place_flow(&self, flow: usize, queues: usize) -> usize {
+        FlowPlacement::RoundRobin.place(flow, queues)
+    }
+
+    fn vector_home(&self, queue: usize, queues: usize, cpus: usize) -> CpuId {
+        even_home(queue, queues, cpus)
+    }
+}
+
+/// Hash-placed flows, vectors split evenly — receive-side scaling with a
+/// static indirection table.
+#[derive(Debug, Clone, Copy)]
+pub struct RssHash;
+
+impl SteeringPolicy for RssHash {
+    fn name(&self) -> &'static str {
+        "rss-hash"
+    }
+
+    fn place_flow(&self, flow: usize, queues: usize) -> usize {
+        FlowPlacement::RssHash.place(flow, queues)
+    }
+
+    fn vector_home(&self, queue: usize, queues: usize, cpus: usize) -> CpuId {
+        even_home(queue, queues, cpus)
+    }
+}
+
+/// Intel Flow Director / Linux aRFS: a bounded filter table tracks the
+/// CPU each flow's consumer last ran on; deliveries re-target the
+/// queue's vector there, chasing the consuming core. Static placement
+/// and layout are RSS-like (`placement` is configurable); the dynamic
+/// table overrides them per delivery.
+#[derive(Debug)]
+pub struct FlowDirector {
+    placement: FlowPlacement,
+    /// Filter table, indexed by flow; grown lazily so machines with few
+    /// flows don't pay for the full capacity.
+    table: Vec<Option<CpuId>>,
+    /// Occupied entries (bounded by `capacity`).
+    occupied: usize,
+    capacity: usize,
+    resteer_cycles: u64,
+}
+
+impl FlowDirector {
+    /// A director over `placement`-placed flows with a `capacity`-entry
+    /// filter table and `resteer_cycles` per reprogram.
+    #[must_use]
+    pub fn new(placement: FlowPlacement, capacity: usize, resteer_cycles: u64) -> Self {
+        FlowDirector {
+            placement,
+            table: Vec::new(),
+            occupied: 0,
+            capacity,
+            resteer_cycles,
+        }
+    }
+
+    /// Occupied filter-table entries.
+    #[must_use]
+    pub fn table_occupancy(&self) -> usize {
+        self.occupied
+    }
+}
+
+impl SteeringPolicy for FlowDirector {
+    fn name(&self) -> &'static str {
+        "flow-director"
+    }
+
+    fn place_flow(&self, flow: usize, queues: usize) -> usize {
+        self.placement.place(flow, queues)
+    }
+
+    fn vector_home(&self, queue: usize, queues: usize, cpus: usize) -> CpuId {
+        even_home(queue, queues, cpus)
+    }
+
+    fn dynamic(&self) -> bool {
+        true
+    }
+
+    fn consumer_ran(&mut self, flow: usize, cpu: CpuId, counters: &mut SteerCounters) {
+        if flow >= self.table.len() {
+            self.table.resize(flow + 1, None);
+        }
+        if self.table[flow].is_none() {
+            if self.occupied >= self.capacity {
+                // Table full: the flow keeps its static placement.
+                counters.table_rejects += 1;
+                return;
+            }
+            self.occupied += 1;
+        }
+        self.table[flow] = Some(cpu);
+    }
+
+    fn steer(&mut self, flow: usize, _counters: &mut SteerCounters) -> Option<SteerDecision> {
+        self.table
+            .get(flow)
+            .copied()
+            .flatten()
+            .map(|target| SteerDecision {
+                target,
+                resteer_cycles: self.resteer_cycles,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_director_tracks_the_consumer() {
+        let mut ctrs = SteerCounters::default();
+        let mut fd = FlowDirector::new(FlowPlacement::RssHash, 4, 600);
+        assert!(
+            fd.steer(0, &mut ctrs).is_none(),
+            "empty table keeps static route"
+        );
+        fd.consumer_ran(2, CpuId::new(3), &mut ctrs);
+        let d = fd.steer(2, &mut ctrs).unwrap();
+        assert_eq!(d.target, CpuId::new(3));
+        assert_eq!(d.resteer_cycles, 600);
+        // Re-running elsewhere updates the entry in place.
+        fd.consumer_ran(2, CpuId::new(1), &mut ctrs);
+        assert_eq!(fd.steer(2, &mut ctrs).unwrap().target, CpuId::new(1));
+        assert_eq!(fd.table_occupancy(), 1);
+        assert_eq!(ctrs.table_rejects, 0);
+    }
+
+    #[test]
+    fn flow_director_table_is_bounded() {
+        let mut ctrs = SteerCounters::default();
+        let mut fd = FlowDirector::new(FlowPlacement::RoundRobin, 2, 600);
+        fd.consumer_ran(0, CpuId::new(0), &mut ctrs);
+        fd.consumer_ran(1, CpuId::new(1), &mut ctrs);
+        fd.consumer_ran(2, CpuId::new(2), &mut ctrs);
+        assert_eq!(fd.table_occupancy(), 2);
+        assert_eq!(ctrs.table_rejects, 1);
+        assert!(
+            fd.steer(2, &mut ctrs).is_none(),
+            "rejected flow stays static"
+        );
+        // Existing entries still update.
+        fd.consumer_ran(0, CpuId::new(3), &mut ctrs);
+        assert_eq!(fd.steer(0, &mut ctrs).unwrap().target, CpuId::new(3));
+        assert_eq!(fd.table_occupancy(), 2);
+    }
+
+    #[test]
+    fn static_policies_have_free_dynamic_hooks() {
+        let mut ctrs = SteerCounters::default();
+        let mut rr = RoundRobin;
+        rr.consumer_ran(0, CpuId::new(1), &mut ctrs);
+        assert!(rr.steer(0, &mut ctrs).is_none());
+        assert_eq!(ctrs, SteerCounters::default());
+        assert_eq!(
+            StaticIrq::new(FlowPlacement::RoundRobin).vector_home(7, 8, 4),
+            CpuId::new(0)
+        );
+        assert_eq!(RssHash.vector_home(7, 8, 4), CpuId::new(3));
+    }
+}

@@ -58,7 +58,7 @@ fn ablate_coalescing(c: &mut Criterion) {
         group.bench_function(format!("coalesce_{events}"), |b| {
             b.iter(|| {
                 let mut config = base(AffinityMode::None);
-                config.nic.coalesce_events = events;
+                config.nic.coalesce = affinity_sim::CoalesceConfig::FixedCount { events };
                 let r = run_experiment(&config).unwrap();
                 black_box(r.metrics.throughput_mbps());
             });
@@ -109,7 +109,9 @@ fn ablate_steering(c: &mut Criterion) {
     let policies: [(&str, fn(&mut ExperimentConfig)); 3] = [
         ("static_cpu0", |_| {}),
         ("rotation", |c| c.tunables.irq_rotation_cycles = 3_000_000),
-        ("rss_dynamic", |c| c.tunables.dynamic_steering = true),
+        ("rss_dynamic", |c| {
+            c.steer = Some(affinity_sim::SteerSpec::flow_director_unconfigured());
+        }),
     ];
     for (name, configure) in policies {
         group.bench_function(name, move |b| {

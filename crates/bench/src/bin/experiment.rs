@@ -7,7 +7,7 @@
 //!            [--loss RATE] [--rss] [--rotate CYCLES]
 //! ```
 
-use affinity_sim::{report, run_experiment, AffinityMode, Direction, ExperimentConfig};
+use affinity_sim::{report, run_experiment, AffinityMode, Direction, ExperimentConfig, SteerSpec};
 use sim_cpu::EventCosts;
 use sim_tcp::Bin;
 
@@ -77,7 +77,9 @@ fn main() {
         config.workload.warmup_messages = warmup;
     }
     config.tunables.loss_rate = loss;
-    config.tunables.dynamic_steering = rss;
+    if rss {
+        config.steer = Some(SteerSpec::flow_director_unconfigured());
+    }
     config.tunables.irq_rotation_cycles = rotate;
 
     let result = match run_experiment(&config) {

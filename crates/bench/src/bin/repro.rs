@@ -7,6 +7,7 @@
 //! repro --filter full/4096/tx    # run exactly one matrix cell
 //! repro perf           # time the benchmark matrix, append to BENCH_substrate.json
 //! repro scale          # CPUs x flows x modes scaling sweep (incl. RSS)
+//! repro steer          # steering-policy sweep: RSS vs Flow Director
 //! repro --quick perf   # smoke variants at tiny message counts (CI)
 //! ```
 //!
@@ -14,7 +15,8 @@
 //! overrides the worker count (results are identical at any setting).
 
 use affinity_sim::{
-    report, AffinityMode, Direction, ExperimentConfig, RunMetrics, RunResult, PAPER_SIZES,
+    report, AffinityMode, CoalesceConfig, Direction, DynamicSteer, ExperimentConfig, FlowPlacement,
+    RunMetrics, RunResult, SteerSpec, VectorLayout, PAPER_SIZES,
 };
 use bench::{
     append_history, cell, figure_row, fnv_fold, pool_threads, run_cell, run_pool, EXTREME_POINTS,
@@ -22,7 +24,13 @@ use bench::{
 use sim_cpu::EventCosts;
 
 /// PR number stamped on history entries appended to `BENCH_substrate.json`.
-const CURRENT_PR: u32 = 3;
+const CURRENT_PR: u32 = 4;
+
+/// Every artifact name `repro` understands, for validation and `--help`.
+const KNOWN_ARTIFACTS: [&str; 12] = [
+    "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "table5", "fourp", "perf",
+    "scale", "steer",
+];
 
 struct Args {
     artifacts: Vec<String>,
@@ -33,25 +41,44 @@ struct Args {
     quick: bool,
 }
 
+/// Rejects a bad command-line token: prints the offending value and the
+/// full list of accepted ones, then exits with status 2 (usage error)
+/// instead of a panic backtrace.
+fn usage_error(what: &str, got: &str, valid: &str) -> ! {
+    eprintln!("repro: unknown {what} {got:?}");
+    eprintln!("  valid {what}s: {valid}");
+    eprintln!("  usage: repro [--quick] [--sizes N,N,..] [--filter mode/size/dir] [artifact..]");
+    std::process::exit(2);
+}
+
 fn parse_filter(spec: &str) -> (AffinityMode, u64, Direction) {
     let parts: Vec<&str> = spec.split('/').collect();
-    let usage = "expected --filter <mode>/<size>/<dir>, e.g. --filter full/4096/tx";
-    assert!(parts.len() == 3, "bad filter {spec:?}: {usage}");
+    if parts.len() != 3 {
+        usage_error(
+            "filter",
+            spec,
+            "<mode>/<size>/<dir>, e.g. full/4096/tx (mode: no|irq|proc|full|rss; dir: tx|rx)",
+        );
+    }
     let mode = match parts[0].to_ascii_lowercase().as_str() {
         "no" | "none" => AffinityMode::None,
         "irq" => AffinityMode::Irq,
         "proc" | "process" => AffinityMode::Process,
         "full" => AffinityMode::Full,
         "rss" => AffinityMode::Rss,
-        other => panic!("unknown mode {other:?} (no|irq|proc|full|rss): {usage}"),
+        other => usage_error("filter mode", other, "no, irq, proc, full, rss"),
     };
-    let size: u64 = parts[1]
-        .parse()
-        .unwrap_or_else(|_| panic!("bad size {:?}: {usage}", parts[1]));
+    let size: u64 = parts[1].parse().unwrap_or_else(|_| {
+        usage_error(
+            "filter size",
+            parts[1],
+            "a message size in bytes, e.g. 128, 4096, 65536",
+        )
+    });
     let direction = match parts[2].to_ascii_lowercase().as_str() {
         "tx" => Direction::Tx,
         "rx" => Direction::Rx,
-        other => panic!("unknown direction {other:?} (tx|rx): {usage}"),
+        other => usage_error("filter direction", other, "tx, rx"),
     };
     (mode, size, direction)
 }
@@ -78,6 +105,11 @@ fn parse_args() -> Args {
             parsed.quick = true;
         } else {
             parsed.artifacts.push(arg);
+        }
+    }
+    for artifact in &parsed.artifacts {
+        if !KNOWN_ARTIFACTS.contains(&artifact.as_str()) {
+            usage_error("artifact", artifact, &KNOWN_ARTIFACTS.join(", "));
         }
     }
     if parsed.artifacts.is_empty() {
@@ -327,6 +359,125 @@ fn scale(quick: bool) {
     }
 }
 
+/// The steering-policy sweep: static RSS hashing vs Flow Director /
+/// aRFS dynamic re-targeting, each under fixed-count and adaptive
+/// interrupt moderation, on the multi-queue SUT (one 4-queue NIC port
+/// per four CPUs, 4 flows per CPU, Rx 4KB). Reports throughput, cost,
+/// machine clears, and the steering counters (re-steers, table rejects,
+/// out-of-order completions) that distinguish the two policies: Flow
+/// Director chases the consumer and so completes some flows' frames on
+/// a different CPU than the previous batch — the reordering signature.
+/// Deterministic: the digest is independent of `REPRO_THREADS`.
+fn steer(quick: bool) {
+    let rss_static = SteerSpec {
+        placement: FlowPlacement::RssHash,
+        vectors: VectorLayout::SplitEven,
+        dynamic: DynamicSteer::Off,
+        pin_processes: false,
+    };
+    let adaptive = CoalesceConfig::AdaptiveTimeout {
+        min_events: 1,
+        max_events: 8,
+        idle_gap_cycles: 8_000,
+        timeout_cycles: 12_000,
+    };
+    let variants: [(&str, SteerSpec, Option<CoalesceConfig>); 4] = [
+        ("RSS/fixed", rss_static, None),
+        ("RSS/adaptive", rss_static, Some(adaptive)),
+        ("FlowDir/fixed", SteerSpec::flow_director(), None),
+        (
+            "FlowDir/adaptive",
+            SteerSpec::flow_director(),
+            Some(adaptive),
+        ),
+    ];
+    let cpu_grid: Vec<usize> = if quick { vec![4] } else { vec![4, 8, 16] };
+    let mut jobs: Vec<(usize, usize)> = Vec::new();
+    for &cpus in &cpu_grid {
+        for variant in 0..variants.len() {
+            jobs.push((cpus, variant));
+        }
+    }
+    let cells = jobs.len();
+    let threads = pool_threads();
+    eprintln!(
+        "steering sweep: {cells} cells ({} CPU counts x {} policies, Rx 4KB, 4 flows/CPU) on {threads} worker(s)...",
+        cpu_grid.len(),
+        variants.len(),
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_pool(jobs.clone(), threads, move |(cpus, variant)| {
+        let (_, spec, coalesce) = variants[variant];
+        let mut config = ExperimentConfig::steer_sweep(Direction::Rx, cpus, 4 * cpus, spec);
+        if let Some(c) = coalesce {
+            config.nic.coalesce = c;
+        }
+        if !quick {
+            config.workload.warmup_messages = 8;
+            config.workload.measure_messages = 24;
+        }
+        let r = affinity_sim::run_experiment(&config).expect("valid steer config");
+        (
+            r.metrics.wall_cycles,
+            r.metrics.throughput_mbps(),
+            r.metrics.cost_ghz_per_gbps(),
+            r.metrics.total.machine_clears as f64 / r.metrics.messages.max(1) as f64,
+            r.steer,
+        )
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let digest = fnv_fold(results.iter().map(|&(cycles, ..)| cycles));
+
+    println!("steering sweep (Rx, 4KB messages, 4 flows/CPU, 4-queue NIC per 4 CPUs)");
+    println!(
+        "{:>5} {:>17} | {:>9} {:>9} {:>11} {:>9} {:>8} {:>8}",
+        "cpus", "policy", "BW (Mb/s)", "GHz/Gbps", "clears/msg", "resteers", "rejects", "ooo"
+    );
+    for (row, &(_, mbps, cost, clears, counters)) in results.iter().enumerate() {
+        let (cpus, variant) = jobs[row];
+        println!(
+            "{cpus:>5} {:>17} | {mbps:>9.0} {cost:>9.2} {clears:>11.1} {:>9} {:>8} {:>8}",
+            variants[variant].0,
+            counters.resteers,
+            counters.table_rejects,
+            counters.ooo_completions,
+        );
+    }
+    let top_cpus = *cpu_grid.last().expect("non-empty cpu grid");
+    let at = |name: &str| {
+        jobs.iter()
+            .zip(&results)
+            .find(|((cpus, v), _)| *cpus == top_cpus && variants[*v].0 == name)
+            .map(|(_, &(_, mbps, ..))| mbps)
+            .expect("variant present")
+    };
+    println!(
+        "\nat {top_cpus} cpus: FlowDir {flowdir:.0} Mb/s vs RSS {rss:.0} Mb/s ({gain:+.1}%)",
+        flowdir = at("FlowDir/fixed"),
+        rss = at("RSS/fixed"),
+        gain = 100.0 * (at("FlowDir/fixed") / at("RSS/fixed") - 1.0),
+    );
+    println!(
+        "{cells} cells in {wall:.2} s ({rate:.1} cells/sec), digest {digest:016x}",
+        rate = cells as f64 / wall,
+    );
+
+    if quick {
+        eprintln!("quick smoke run: not recorded in BENCH_substrate.json");
+    } else {
+        let json = format!(
+            "  {{\n    \"pr\": {CURRENT_PR},\n    \
+             \"benchmark\": \"steering sweep ({n_cpus} CPU counts x 4 policies, Rx 4KB)\",\n    \
+             \"cells\": {cells},\n    \"threads\": {threads},\n    \
+             \"current_wall_s\": {wall:.2},\n    \
+             \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
+            n_cpus = cpu_grid.len(),
+            rate = cells as f64 / wall,
+        );
+        append_history("BENCH_substrate.json", &json);
+    }
+}
+
 fn main() {
     let args = parse_args();
     let Args {
@@ -347,6 +498,10 @@ fn main() {
     }
     if wants("scale") {
         scale(quick);
+        return;
+    }
+    if wants("steer") {
+        steer(quick);
         return;
     }
 

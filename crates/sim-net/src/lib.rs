@@ -7,11 +7,15 @@
 //! source/sink the traffic. This crate models the pieces of that setup
 //! that interact with affinity:
 //!
-//! * [`Nic`] — a device with RX/TX descriptor rings and packet-count
-//!   interrupt coalescing. DMA goes through [`sim_mem::MemorySystem`], so
-//!   arriving payload is *uncached* for whichever CPU copies it later
-//!   (the paper's RX-copy observation) and transmit DMA forces
-//!   writebacks;
+//! * [`Nic`] — a device with per-queue RX/TX descriptor rings and a
+//!   pluggable interrupt-moderation policy ([`CoalescePolicy`]). DMA
+//!   goes through [`sim_mem::MemorySystem`], so arriving payload is
+//!   *uncached* for whichever CPU copies it later (the paper's RX-copy
+//!   observation) and transmit DMA forces writebacks. The paper-era
+//!   device is a single queue with fixed packet-count coalescing
+//!   ([`CoalesceConfig::FixedCount`]); multi-queue MSI-X configurations
+//!   give each queue its own vector so steering policies can spread
+//!   flows across CPUs within one port;
 //! * [`wire`] — MTU segmentation arithmetic shared by the stack model
 //!   and the workload generator;
 //! * [`Peer`] — a stand-in for the client machines: it acks transmitted
@@ -26,11 +30,12 @@
 //! use sim_net::{Nic, NicConfig};
 //!
 //! let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
-//! let mut nic = Nic::new(DeviceId::new(0), IrqVector::new(0x19), NicConfig::default(), &mut mem);
-//! // Four 1500-byte frames arrive; coalescing raises one interrupt.
+//! let vectors = [IrqVector::new(0x19)];
+//! let mut nic = Nic::new(DeviceId::new(0), &vectors, NicConfig::default(), &mut mem);
+//! // Four 1500-byte frames arrive on queue 0; coalescing raises one interrupt.
 //! let mut raised = 0;
 //! for _ in 0..4 {
-//!     if nic.dma_rx_frame(&mut mem, 1500) {
+//!     if nic.dma_rx_frame(0, &mut mem, 1500, 0) {
 //!         raised += 1;
 //!     }
 //! }
@@ -40,9 +45,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coalesce;
 mod nic;
 mod peer;
 pub mod wire;
 
+pub use coalesce::{AdaptiveTimeout, CoalesceConfig, CoalescePolicy, Coalescer, FixedCount};
 pub use nic::{Nic, NicConfig, NicStats};
 pub use peer::{Peer, PeerConfig};

@@ -1,5 +1,6 @@
 //! The NIC device model.
 
+use crate::coalesce::{CoalesceConfig, CoalescePolicy, Coalescer};
 use serde::{Deserialize, Serialize};
 use sim_core::{DeviceId, IrqVector};
 use sim_mem::{MemorySystem, RegionId};
@@ -7,16 +8,20 @@ use sim_mem::{MemorySystem, RegionId};
 /// NIC geometry and interrupt-moderation settings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NicConfig {
-    /// Descriptor ring entries (RX and TX each).
+    /// Descriptor ring entries (RX and TX each, per queue).
     pub ring_entries: u32,
     /// Descriptor size in bytes (PRO/1000 legacy descriptors are 16 B).
     pub descriptor_bytes: u32,
-    /// Raise an interrupt after this many events (packets received or
-    /// transmit completions) — packet-count interrupt coalescing, the
-    /// moderation scheme of the paper-era e1000 driver.
-    pub coalesce_events: u32,
-    /// Bytes of RX buffer memory owned by the device (DMA target).
+    /// Interrupt-moderation policy applied per queue. The default,
+    /// [`CoalesceConfig::FixedCount`] with 4 events, is the paper-era
+    /// e1000 packet-count scheme.
+    pub coalesce: CoalesceConfig,
+    /// Bytes of RX buffer memory owned by the device, per queue (DMA
+    /// target).
     pub rx_buffer_bytes: u64,
+    /// Hardware queues (each with its own rings, buffers, coalescer and
+    /// MSI-X vector). The paper-era PRO/1000 has exactly one.
+    pub queues: u32,
 }
 
 impl Default for NicConfig {
@@ -24,13 +29,14 @@ impl Default for NicConfig {
         NicConfig {
             ring_entries: 256,
             descriptor_bytes: 16,
-            coalesce_events: 4,
+            coalesce: CoalesceConfig::default(),
             rx_buffer_bytes: 256 * 2048, // one 2 KB buffer per descriptor
+            queues: 1,
         }
     }
 }
 
-/// Device counters.
+/// Device counters (aggregated over all queues).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NicStats {
     /// Frames DMA'd to host memory.
@@ -43,47 +49,94 @@ pub struct NicStats {
     pub rx_drops: u64,
 }
 
-/// One NIC port: descriptor rings, DMA, and interrupt moderation.
-///
-/// The device performs DMA through the [`MemorySystem`] so cache effects
-/// are real: RX DMA invalidates payload lines everywhere (arriving data
-/// is uncached), TX DMA forces writebacks, and every descriptor write
-/// touches the ring region — which, when the driver runs on a *different*
-/// CPU than last time, shows up as coherence misses.
+/// One hardware queue: descriptor rings, buffers, moderation state and
+/// the MSI-X vector it asserts.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Nic {
-    id: DeviceId,
+struct Queue {
     vector: IrqVector,
-    config: NicConfig,
     rx_ring: RegionId,
     tx_ring: RegionId,
     rx_buffers: RegionId,
     rx_head: u32,
     rx_outstanding: u32,
     tx_head: u32,
-    pending_events: u32,
+    coalescer: Coalescer,
+}
+
+/// One NIC port: per-queue descriptor rings, DMA, and interrupt
+/// moderation.
+///
+/// The device performs DMA through the [`MemorySystem`] so cache effects
+/// are real: RX DMA invalidates payload lines everywhere (arriving data
+/// is uncached), TX DMA forces writebacks, and every descriptor write
+/// touches the ring region — which, when the driver runs on a *different*
+/// CPU than last time, shows up as coherence misses.
+///
+/// A paper-era NIC has one queue; multi-queue configurations give each
+/// queue its own rings, RX buffers, coalescer, and MSI-X vector, which
+/// is what lets steering policies place flows on distinct CPUs within a
+/// single port.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Nic {
+    id: DeviceId,
+    config: NicConfig,
+    queues: Vec<Queue>,
     stats: NicStats,
 }
 
 impl Nic {
-    /// Creates a NIC, allocating its rings and RX buffers in `mem`.
+    /// Creates a NIC, allocating per-queue rings and RX buffers in `mem`.
+    ///
+    /// `vectors` supplies one MSI-X vector per queue.
+    ///
+    /// # Panics
+    /// Panics when `vectors.len()` does not match `config.queues`.
     #[must_use]
-    pub fn new(id: DeviceId, vector: IrqVector, config: NicConfig, mem: &mut MemorySystem) -> Self {
+    pub fn new(
+        id: DeviceId,
+        vectors: &[IrqVector],
+        config: NicConfig,
+        mem: &mut MemorySystem,
+    ) -> Self {
+        let queues = config.queues.max(1) as usize;
+        assert_eq!(
+            vectors.len(),
+            queues,
+            "NIC {id} needs one MSI-X vector per queue"
+        );
         let ring_bytes = u64::from(config.ring_entries) * u64::from(config.descriptor_bytes);
-        let rx_ring = mem.add_region(format!("{id}.rx_ring"), ring_bytes);
-        let tx_ring = mem.add_region(format!("{id}.tx_ring"), ring_bytes);
-        let rx_buffers = mem.add_region(format!("{id}.rx_buffers"), config.rx_buffer_bytes);
+        let queues = vectors
+            .iter()
+            .enumerate()
+            .map(|(q, &vector)| {
+                // Queue 0 keeps the legacy single-queue region names so
+                // existing memory layouts (and their golden snapshots)
+                // are unchanged when `queues == 1`.
+                let prefix = if q == 0 {
+                    format!("{id}")
+                } else {
+                    format!("{id}.q{q}")
+                };
+                let rx_ring = mem.add_region(format!("{prefix}.rx_ring"), ring_bytes);
+                let tx_ring = mem.add_region(format!("{prefix}.tx_ring"), ring_bytes);
+                let rx_buffers =
+                    mem.add_region(format!("{prefix}.rx_buffers"), config.rx_buffer_bytes);
+                Queue {
+                    vector,
+                    rx_ring,
+                    tx_ring,
+                    rx_buffers,
+                    rx_head: 0,
+                    rx_outstanding: 0,
+                    tx_head: 0,
+                    coalescer: config.coalesce.build(),
+                }
+            })
+            .collect();
         Nic {
             id,
-            vector,
             config,
-            rx_ring,
-            tx_ring,
-            rx_buffers,
-            rx_head: 0,
-            rx_outstanding: 0,
-            tx_head: 0,
-            pending_events: 0,
+            queues,
             stats: NicStats::default(),
         }
     }
@@ -94,28 +147,36 @@ impl Nic {
         self.id
     }
 
-    /// Interrupt vector this NIC asserts.
+    /// Number of hardware queues.
     #[must_use]
-    pub fn vector(&self) -> IrqVector {
-        self.vector
+    pub fn queues(&self) -> usize {
+        self.queues.len()
     }
 
-    /// The RX descriptor ring region (touched by the driver's RX path).
+    /// Interrupt vector queue `queue` asserts.
     #[must_use]
-    pub fn rx_ring(&self) -> RegionId {
-        self.rx_ring
+    pub fn vector(&self, queue: usize) -> IrqVector {
+        self.queues[queue].vector
     }
 
-    /// The TX descriptor ring region (touched by the driver's TX path).
+    /// The RX descriptor ring region of `queue` (touched by the driver's
+    /// RX path).
     #[must_use]
-    pub fn tx_ring(&self) -> RegionId {
-        self.tx_ring
+    pub fn rx_ring(&self, queue: usize) -> RegionId {
+        self.queues[queue].rx_ring
     }
 
-    /// The RX buffer region packets are DMA'd into.
+    /// The TX descriptor ring region of `queue` (touched by the driver's
+    /// TX path).
     #[must_use]
-    pub fn rx_buffers(&self) -> RegionId {
-        self.rx_buffers
+    pub fn tx_ring(&self, queue: usize) -> RegionId {
+        self.queues[queue].tx_ring
+    }
+
+    /// The RX buffer region packets on `queue` are DMA'd into.
+    #[must_use]
+    pub fn rx_buffers(&self, queue: usize) -> RegionId {
+        self.queues[queue].rx_buffers
     }
 
     /// The configuration.
@@ -124,10 +185,46 @@ impl Nic {
         &self.config
     }
 
-    fn coalesce(&mut self) -> bool {
-        self.pending_events += 1;
-        if self.pending_events >= self.config.coalesce_events {
-            self.pending_events = 0;
+    /// Policy-specific moderation-timer period for `queue`, or `None`
+    /// when the machine-level default applies.
+    #[must_use]
+    pub fn flush_timeout(&self, queue: usize) -> Option<u64> {
+        self.queues[queue].coalescer.timeout_cycles()
+    }
+
+    /// A frame of `bytes` payload arrives on `queue` at cycle `now`: the
+    /// device DMA-writes the payload into an RX buffer and the descriptor
+    /// ring, then applies interrupt moderation. Returns `true` when an
+    /// interrupt should be asserted. Frames are dropped (counted, no
+    /// interrupt contribution) when the RX ring has no free descriptors —
+    /// i.e. when the host is not keeping up.
+    pub fn dma_rx_frame(
+        &mut self,
+        queue: usize,
+        mem: &mut MemorySystem,
+        bytes: u32,
+        now: u64,
+    ) -> bool {
+        let entries = self.config.ring_entries;
+        let descriptor_bytes = self.config.descriptor_bytes;
+        let buf_size = self.config.rx_buffer_bytes / u64::from(entries);
+        let q = &mut self.queues[queue];
+        if q.rx_outstanding >= entries {
+            self.stats.rx_drops += 1;
+            return false;
+        }
+        let slot = q.rx_head % entries;
+        q.rx_head = q.rx_head.wrapping_add(1);
+        q.rx_outstanding += 1;
+        // Payload lands in the slot's 2 KB buffer; descriptor updated.
+        mem.dma_write(q.rx_buffers, u64::from(slot) * buf_size, u64::from(bytes));
+        mem.dma_write(
+            q.rx_ring,
+            u64::from(slot) * u64::from(descriptor_bytes),
+            u64::from(descriptor_bytes),
+        );
+        self.stats.rx_frames += 1;
+        if q.coalescer.on_event(now) {
             self.stats.interrupts += 1;
             true
         } else {
@@ -135,77 +232,57 @@ impl Nic {
         }
     }
 
-    /// A frame of `bytes` payload arrives: the device DMA-writes the
-    /// payload into an RX buffer and the descriptor ring, then applies
-    /// interrupt moderation. Returns `true` when an interrupt should be
-    /// asserted. Frames are dropped (counted, no interrupt contribution)
-    /// when the RX ring has no free descriptors — i.e. when the host is
-    /// not keeping up.
-    pub fn dma_rx_frame(&mut self, mem: &mut MemorySystem, bytes: u32) -> bool {
-        if self.rx_outstanding >= self.config.ring_entries {
-            self.stats.rx_drops += 1;
-            return false;
-        }
-        let slot = self.rx_head % self.config.ring_entries;
-        self.rx_head = self.rx_head.wrapping_add(1);
-        self.rx_outstanding += 1;
-        // Payload lands in the slot's 2 KB buffer; descriptor updated.
-        let buf_size = self.config.rx_buffer_bytes / u64::from(self.config.ring_entries);
-        mem.dma_write(
-            self.rx_buffers,
-            u64::from(slot) * buf_size,
-            u64::from(bytes),
-        );
-        mem.dma_write(
-            self.rx_ring,
-            u64::from(slot) * u64::from(self.config.descriptor_bytes),
-            u64::from(self.config.descriptor_bytes),
-        );
-        self.stats.rx_frames += 1;
-        self.coalesce()
+    /// The driver consumed `frames` RX descriptors on `queue` (reclaim
+    /// after the bottom half processed them).
+    pub fn reclaim_rx(&mut self, queue: usize, frames: u32) {
+        let q = &mut self.queues[queue];
+        q.rx_outstanding = q.rx_outstanding.saturating_sub(frames);
     }
 
-    /// The driver consumed `frames` RX descriptors (reclaim after the
-    /// bottom half processed them).
-    pub fn reclaim_rx(&mut self, frames: u32) {
-        self.rx_outstanding = self.rx_outstanding.saturating_sub(frames);
-    }
-
-    /// RX descriptors currently filled and unreclaimed.
+    /// RX descriptors currently filled and unreclaimed on `queue`.
     #[must_use]
-    pub fn rx_outstanding(&self) -> u32 {
-        self.rx_outstanding
+    pub fn rx_outstanding(&self, queue: usize) -> u32 {
+        self.queues[queue].rx_outstanding
     }
 
-    /// The device transmits a queued frame: DMA-reads the payload from
-    /// `payload_region` and writes back the completion descriptor, then
-    /// applies interrupt moderation. Returns `true` when a TX-completion
-    /// interrupt should be asserted.
+    /// The device transmits a queued frame on `queue` at cycle `now`:
+    /// DMA-reads the payload from `payload_region` and writes back the
+    /// completion descriptor, then applies interrupt moderation. Returns
+    /// `true` when a TX-completion interrupt should be asserted.
     pub fn dma_tx_frame(
         &mut self,
+        queue: usize,
         mem: &mut MemorySystem,
         payload_region: RegionId,
         payload_offset: u64,
         bytes: u32,
+        now: u64,
     ) -> bool {
-        let slot = self.tx_head % self.config.ring_entries;
-        self.tx_head = self.tx_head.wrapping_add(1);
+        let entries = self.config.ring_entries;
+        let descriptor_bytes = self.config.descriptor_bytes;
+        let q = &mut self.queues[queue];
+        let slot = q.tx_head % entries;
+        q.tx_head = q.tx_head.wrapping_add(1);
         mem.dma_read(payload_region, payload_offset, u64::from(bytes));
         mem.dma_write(
-            self.tx_ring,
-            u64::from(slot) * u64::from(self.config.descriptor_bytes),
-            u64::from(self.config.descriptor_bytes),
+            q.tx_ring,
+            u64::from(slot) * u64::from(descriptor_bytes),
+            u64::from(descriptor_bytes),
         );
         self.stats.tx_completions += 1;
-        self.coalesce()
+        if q.coalescer.on_event(now) {
+            self.stats.interrupts += 1;
+            true
+        } else {
+            false
+        }
     }
 
-    /// Flushes any partially-coalesced events (the hardware's moderation
-    /// timer firing at the end of a burst). Returns `true` if an
-    /// interrupt should be asserted.
-    pub fn flush_coalescing(&mut self) -> bool {
-        if self.pending_events > 0 {
-            self.pending_events = 0;
+    /// Flushes any partially-coalesced events on `queue` (the hardware's
+    /// moderation timer firing at the end of a burst). Returns `true` if
+    /// an interrupt should be asserted.
+    pub fn flush_coalescing(&mut self, queue: usize) -> bool {
+        if self.queues[queue].coalescer.flush() {
             self.stats.interrupts += 1;
             true
         } else {
@@ -219,7 +296,7 @@ impl Nic {
         self.stats
     }
 
-    /// Resets counters (keeps ring state).
+    /// Resets counters (keeps ring and moderation state).
     pub fn reset_stats(&mut self) {
         self.stats = NicStats::default();
     }
@@ -235,7 +312,7 @@ mod tests {
         let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
         let nic = Nic::new(
             DeviceId::new(0),
-            IrqVector::new(0x19),
+            &[IrqVector::new(0x19)],
             NicConfig::default(),
             &mut mem,
         );
@@ -247,7 +324,7 @@ mod tests {
         let (mut mem, mut nic) = setup();
         let mut interrupts = 0;
         for _ in 0..16 {
-            if nic.dma_rx_frame(&mut mem, 1500) {
+            if nic.dma_rx_frame(0, &mut mem, 1500, 0) {
                 interrupts += 1;
             }
         }
@@ -259,9 +336,9 @@ mod tests {
     #[test]
     fn flush_fires_partial_batch() {
         let (mut mem, mut nic) = setup();
-        assert!(!nic.dma_rx_frame(&mut mem, 100));
-        assert!(nic.flush_coalescing());
-        assert!(!nic.flush_coalescing(), "nothing pending after flush");
+        assert!(!nic.dma_rx_frame(0, &mut mem, 100, 0));
+        assert!(nic.flush_coalescing(0));
+        assert!(!nic.flush_coalescing(0), "nothing pending after flush");
     }
 
     #[test]
@@ -269,14 +346,14 @@ mod tests {
         let (mut mem, mut nic) = setup();
         let cpu = CpuId::new(0);
         // Warm the first RX buffer in CPU0's cache.
-        mem.data_touch(cpu, nic.rx_buffers(), 0, 2048, false);
+        mem.data_touch(cpu, nic.rx_buffers(0), 0, 2048, false);
         assert_eq!(
-            mem.data_touch(cpu, nic.rx_buffers(), 0, 2048, false)
+            mem.data_touch(cpu, nic.rx_buffers(0), 0, 2048, false)
                 .llc_misses,
             0
         );
-        nic.dma_rx_frame(&mut mem, 1500);
-        let after = mem.data_touch(cpu, nic.rx_buffers(), 0, 1500, false);
+        nic.dma_rx_frame(0, &mut mem, 1500, 0);
+        let after = mem.data_touch(cpu, nic.rx_buffers(0), 0, 1500, false);
         assert!(after.llc_misses > 0, "DMA'd payload must be uncached");
     }
 
@@ -284,14 +361,14 @@ mod tests {
     fn ring_overflow_drops() {
         let (mut mem, mut nic) = setup();
         for _ in 0..256 {
-            nic.dma_rx_frame(&mut mem, 100);
+            nic.dma_rx_frame(0, &mut mem, 100, 0);
         }
-        assert_eq!(nic.rx_outstanding(), 256);
-        assert!(!nic.dma_rx_frame(&mut mem, 100));
+        assert_eq!(nic.rx_outstanding(0), 256);
+        assert!(!nic.dma_rx_frame(0, &mut mem, 100, 0));
         assert_eq!(nic.stats().rx_drops, 1);
-        nic.reclaim_rx(100);
-        assert_eq!(nic.rx_outstanding(), 156);
-        nic.dma_rx_frame(&mut mem, 100);
+        nic.reclaim_rx(0, 100);
+        assert_eq!(nic.rx_outstanding(0), 156);
+        nic.dma_rx_frame(0, &mut mem, 100, 0);
         assert_eq!(nic.stats().rx_drops, 1);
     }
 
@@ -301,7 +378,7 @@ mod tests {
         let payload = mem.add_region("app.buf", 65536);
         let mut interrupts = 0;
         for i in 0..8 {
-            if nic.dma_tx_frame(&mut mem, payload, i * 1448, 1448) {
+            if nic.dma_tx_frame(0, &mut mem, payload, i * 1448, 1448, 0) {
                 interrupts += 1;
             }
         }
@@ -315,7 +392,7 @@ mod tests {
         let payload = mem.add_region("app.buf", 4096);
         let cpu = CpuId::new(0);
         mem.data_touch(cpu, payload, 0, 4096, true); // app writes buffer
-        nic.dma_tx_frame(&mut mem, payload, 0, 1448);
+        nic.dma_tx_frame(0, &mut mem, payload, 0, 1448, 0);
         // Transmit DMA reads; payload stays cached for reuse (ttcp reuses
         // the same buffer every iteration — the paper's TX caching setup).
         assert_eq!(mem.data_touch(cpu, payload, 0, 1448, false).llc_misses, 0);
@@ -324,16 +401,73 @@ mod tests {
     #[test]
     fn regions_are_distinct() {
         let (_, nic) = setup();
-        assert_ne!(nic.rx_ring(), nic.tx_ring());
-        assert_ne!(nic.rx_ring(), nic.rx_buffers());
-        assert_eq!(nic.vector(), IrqVector::new(0x19));
+        assert_ne!(nic.rx_ring(0), nic.tx_ring(0));
+        assert_ne!(nic.rx_ring(0), nic.rx_buffers(0));
+        assert_eq!(nic.vector(0), IrqVector::new(0x19));
         assert_eq!(nic.id(), DeviceId::new(0));
+        assert_eq!(nic.queues(), 1);
+    }
+
+    #[test]
+    fn multi_queue_isolates_rings_and_vectors() {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(4));
+        let vectors = [
+            IrqVector::new(0x19),
+            IrqVector::new(0x1a),
+            IrqVector::new(0x1b),
+            IrqVector::new(0x1d),
+        ];
+        let config = NicConfig {
+            queues: 4,
+            ..NicConfig::default()
+        };
+        let mut nic = Nic::new(DeviceId::new(0), &vectors, config, &mut mem);
+        assert_eq!(nic.queues(), 4);
+        for (q, &vector) in vectors.iter().enumerate() {
+            assert_eq!(nic.vector(q), vector);
+            for p in 0..4 {
+                if p != q {
+                    assert_ne!(nic.rx_ring(q), nic.rx_ring(p));
+                    assert_ne!(nic.rx_buffers(q), nic.rx_buffers(p));
+                }
+            }
+        }
+        // Coalescing state is per queue: three frames on q0 leave its
+        // batch open; a fourth on q1 does not close q0's batch.
+        for _ in 0..3 {
+            assert!(!nic.dma_rx_frame(0, &mut mem, 1500, 0));
+        }
+        assert!(!nic.dma_rx_frame(1, &mut mem, 1500, 0));
+        assert!(nic.dma_rx_frame(0, &mut mem, 1500, 0));
+        assert_eq!(nic.rx_outstanding(0), 4);
+        assert_eq!(nic.rx_outstanding(1), 1);
+        nic.reclaim_rx(0, 4);
+        assert_eq!(nic.rx_outstanding(0), 0);
+        assert_eq!(nic.rx_outstanding(1), 1);
+    }
+
+    #[test]
+    fn adaptive_coalescer_exposes_timeout() {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let config = NicConfig {
+            coalesce: CoalesceConfig::AdaptiveTimeout {
+                min_events: 1,
+                max_events: 16,
+                idle_gap_cycles: 2_000,
+                timeout_cycles: 6_000,
+            },
+            ..NicConfig::default()
+        };
+        let nic = Nic::new(DeviceId::new(0), &[IrqVector::new(0x19)], config, &mut mem);
+        assert_eq!(nic.flush_timeout(0), Some(6_000));
+        let fixed = setup().1;
+        assert_eq!(fixed.flush_timeout(0), None);
     }
 
     #[test]
     fn reset_stats() {
         let (mut mem, mut nic) = setup();
-        nic.dma_rx_frame(&mut mem, 100);
+        nic.dma_rx_frame(0, &mut mem, 100, 0);
         nic.reset_stats();
         assert_eq!(nic.stats(), NicStats::default());
     }

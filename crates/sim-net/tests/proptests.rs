@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use sim_core::{ConnectionId, DeviceId, IrqVector, SimRng};
 use sim_mem::{MemoryConfig, MemorySystem};
 use sim_net::wire::{segment_count, segments_for};
-use sim_net::{Nic, NicConfig, Peer, PeerConfig};
+use sim_net::{CoalesceConfig, Nic, NicConfig, Peer, PeerConfig};
 
 proptest! {
     /// Segmentation conserves bytes and respects the MSS for any
@@ -29,20 +29,20 @@ proptest! {
     fn coalescing_interrupt_count(frames in 1u32..200, coalesce in 1u32..16) {
         let mut mem = MemorySystem::new(MemoryConfig::tiny(1));
         let config = NicConfig {
-            coalesce_events: coalesce,
+            coalesce: CoalesceConfig::FixedCount { events: coalesce },
             ..NicConfig::default()
         };
-        let mut nic = Nic::new(DeviceId::new(0), IrqVector::new(0x19), config, &mut mem);
+        let mut nic = Nic::new(DeviceId::new(0), &[IrqVector::new(0x19)], config, &mut mem);
         let mut raised = 0u32;
         for _ in 0..frames {
-            if nic.dma_rx_frame(&mut mem, 64) {
+            if nic.dma_rx_frame(0, &mut mem, 64, 0) {
                 raised += 1;
             }
             // Keep the ring from overflowing.
-            nic.reclaim_rx(1);
+            nic.reclaim_rx(0, 1);
         }
         prop_assert_eq!(raised, frames / coalesce);
-        if nic.flush_coalescing() {
+        if nic.flush_coalescing(0) {
             raised += 1;
         }
         prop_assert_eq!(u64::from(raised), nic.stats().interrupts);
@@ -57,13 +57,13 @@ proptest! {
         let mut mem = MemorySystem::new(MemoryConfig::tiny(1));
         let mut nic = Nic::new(
             DeviceId::new(0),
-            IrqVector::new(0x19),
+            &[IrqVector::new(0x19)],
             NicConfig::default(),
             &mut mem,
         );
         for _ in 0..frames {
-            nic.dma_rx_frame(&mut mem, 64);
-            prop_assert!(nic.rx_outstanding() <= nic.config().ring_entries);
+            nic.dma_rx_frame(0, &mut mem, 64, 0);
+            prop_assert!(nic.rx_outstanding(0) <= nic.config().ring_entries);
         }
         let expected_drops = frames.saturating_sub(nic.config().ring_entries);
         prop_assert_eq!(nic.stats().rx_drops, u64::from(expected_drops));

@@ -34,6 +34,7 @@ pub struct IoApic {
     cpus: usize,
     table: HashMap<IrqVector, CpuMask>,
     delivered: HashMap<IrqVector, u64>,
+    retargets: u64,
 }
 
 impl IoApic {
@@ -50,6 +51,7 @@ impl IoApic {
             cpus,
             table: HashMap::new(),
             delivered: HashMap::new(),
+            retargets: 0,
         }
     }
 
@@ -94,6 +96,28 @@ impl IoApic {
         cpu
     }
 
+    /// Re-programs `vector` to deliver to exactly `cpu` — the dynamic
+    /// counterpart of [`IoApic::set_affinity`], used by directed-steering
+    /// policies (Flow Director / aRFS) chasing a flow's consuming core.
+    /// Counted separately from static affinity writes so experiments can
+    /// report re-steering rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyAffinityMask`] if `cpu` is not present on
+    /// this machine.
+    pub fn retarget(&mut self, vector: IrqVector, cpu: CpuId) -> Result<()> {
+        self.set_affinity(vector, CpuMask::single(cpu))?;
+        self.retargets += 1;
+        Ok(())
+    }
+
+    /// Number of dynamic re-targets performed since the last stats reset.
+    #[must_use]
+    pub fn retargets(&self) -> u64 {
+        self.retargets
+    }
+
     /// Number of deliveries recorded for `vector`.
     #[must_use]
     pub fn delivery_count(&self, vector: IrqVector) -> u64 {
@@ -106,9 +130,10 @@ impl IoApic {
         self.delivered.values().sum()
     }
 
-    /// Resets delivery counters (keeps routing).
+    /// Resets delivery and re-target counters (keeps routing).
     pub fn reset_stats(&mut self) {
         self.delivered.clear();
+        self.retargets = 0;
     }
 }
 
@@ -148,6 +173,21 @@ mod tests {
         let mut apic = IoApic::new(2);
         let err = apic.set_affinity(IrqVector::new(0x19), CpuMask::single(CpuId::new(7)));
         assert_eq!(err.unwrap_err(), SimError::EmptyAffinityMask);
+    }
+
+    #[test]
+    fn retarget_redirects_and_counts() {
+        let mut apic = IoApic::new(4);
+        let v = IrqVector::new(0x19);
+        assert_eq!(apic.route(v), CpuId::new(0));
+        apic.retarget(v, CpuId::new(3)).unwrap();
+        assert_eq!(apic.route(v), CpuId::new(3));
+        assert_eq!(apic.retargets(), 1);
+        assert!(apic.retarget(v, CpuId::new(9)).is_err());
+        assert_eq!(apic.retargets(), 1, "failed retargets are not counted");
+        apic.reset_stats();
+        assert_eq!(apic.retargets(), 0);
+        assert_eq!(apic.route(v), CpuId::new(3), "routing survives reset");
     }
 
     #[test]

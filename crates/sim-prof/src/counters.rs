@@ -1,0 +1,69 @@
+//! Steering-subsystem counters.
+//!
+//! Dynamic steering policies (Flow Director / aRFS) change where a
+//! flow's interrupts land while traffic is in flight. These counters
+//! capture the observable side effects of that movement: how often the
+//! hardware filter re-targeted a vector, how often the bounded filter
+//! table turned an insertion away, and — the signature Wu et al. report
+//! for Flow Director — how many frames completed on a different CPU
+//! than the immediately preceding frames of the same flow (a proxy for
+//! packet reordering when a flow migrates mid-window).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by the interrupt-steering path.
+///
+/// Kept separate from `RunMetrics` so golden snapshots of the paper
+/// matrix (where all of these are zero by construction) are unaffected
+/// by steering experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SteerCounters {
+    /// Vector re-targets performed by a dynamic steering policy (each
+    /// models one `IoApic` reprogram chasing the consuming core).
+    pub resteers: u64,
+    /// Flow-table insertions rejected because the bounded re-target
+    /// table was full (those flows stay on their static placement).
+    pub table_rejects: u64,
+    /// Frames whose bottom half ran on a different CPU than the previous
+    /// batch of the same flow — the out-of-order-completion signature of
+    /// directed steering migrating a flow mid-window.
+    pub ooo_completions: u64,
+}
+
+impl SteerCounters {
+    /// Adds `other` into `self` (for aggregating across runs).
+    pub fn merge(&mut self, other: &SteerCounters) {
+        self.resteers += other.resteers;
+        self.table_rejects += other.table_rejects;
+        self.ooo_completions += other.ooo_completions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SteerCounters {
+            resteers: 1,
+            table_rejects: 2,
+            ooo_completions: 3,
+        };
+        let b = SteerCounters {
+            resteers: 10,
+            table_rejects: 20,
+            ooo_completions: 30,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            SteerCounters {
+                resteers: 11,
+                table_rejects: 22,
+                ooo_completions: 33,
+            }
+        );
+        assert_eq!(SteerCounters::default().resteers, 0);
+    }
+}

@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod counters;
 mod profiler;
 mod registry;
 mod report;
 mod sampling;
 
+pub use counters::SteerCounters;
 pub use profiler::{ProfScratch, Profiler};
 pub use registry::{FuncId, FunctionMeta, FunctionRegistry};
 pub use report::{symbol_report, SampleView, SymbolRow};

@@ -8,7 +8,9 @@
 //! cargo run --release --example rss_future
 //! ```
 
-use affinity_repro::{run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics};
+use affinity_repro::{
+    run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics, SteerSpec,
+};
 
 fn run(label: &str, configure: impl FnOnce(&mut ExperimentConfig)) -> (String, RunMetrics) {
     let mut config = ExperimentConfig::paper_sut(Direction::Rx, 16384, AffinityMode::None);
@@ -28,7 +30,7 @@ fn main() {
         }),
         run("static split (IRQ aff)", |c| c.mode = AffinityMode::Irq),
         run("RSS dynamic steering", |c| {
-            c.tunables.dynamic_steering = true;
+            c.steer = Some(SteerSpec::flow_director_unconfigured());
         }),
         run("full affinity (pinned)", |c| c.mode = AffinityMode::Full),
     ];

@@ -1,6 +1,8 @@
 //! Whole-machine determinism and seed-sensitivity guarantees.
 
-use affinity_repro::{run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics};
+use affinity_repro::{
+    run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics, SteerSpec,
+};
 
 /// One golden cell: fixed seed and fixed message counts, deliberately
 /// independent of the bench harness's count-scaling so the snapshot only
@@ -78,6 +80,26 @@ fn four_cpu_scale_matches_committed_golden_snapshot() {
         }
     }
     compare_or_bless("four_cpu.snap", &lines);
+}
+
+/// Guards the dynamic-steering path: the multi-queue Flow Director
+/// configuration (4 CPUs, one 4-queue NIC, 12 hash-placed flows with the
+/// filter table chasing consumers) alongside the static `four_cpu` cells.
+/// The snapshot covers the metrics *and* the steering counters, so
+/// re-steer accounting can't drift silently either.
+#[test]
+fn flow_director_matches_committed_golden_snapshot() {
+    let mut lines = Vec::new();
+    for dir in [Direction::Tx, Direction::Rx] {
+        let mut config =
+            ExperimentConfig::steer_sweep(dir, 4, 12, SteerSpec::flow_director()).with_seed(0x5EED);
+        config.workload.warmup_messages = 2;
+        config.workload.measure_messages = 6;
+        let label = format!("{dir} 4cpu 12flows FlowDir");
+        let run = run_experiment(&config).unwrap();
+        lines.push(format!("{label}: {:?} {:?}", run.metrics, run.steer));
+    }
+    compare_or_bless("flow_director.snap", &lines);
 }
 
 #[test]

@@ -2,7 +2,9 @@
 //! simulated substrate (weak/shape assertions — exact magnitudes are
 //! recorded in EXPERIMENTS.md from release-mode runs).
 
-use affinity_repro::{run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics};
+use affinity_repro::{
+    run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics, SteerSpec,
+};
 use sim_tcp::Bin;
 
 fn run(direction: Direction, size: u64, mode: AffinityMode) -> RunMetrics {
@@ -236,19 +238,22 @@ fn congestion_window_limits_early_inflight() {
 
 #[test]
 fn dynamic_steering_recovers_most_of_full_affinity_without_pinning() {
-    // The paper's conclusion: RSS-style adapters that steer interrupts
-    // to the consumer's CPU should get affinity benefits without static
-    // configuration.
-    let mk = |steering: bool, mode: AffinityMode| {
+    // The paper's conclusion: Flow-Director-style adapters that steer
+    // interrupts to the consumer's CPU should get affinity benefits
+    // without static configuration.
+    let mk = |steer: Option<SteerSpec>, mode: AffinityMode| {
         let mut c = ExperimentConfig::paper_sut(Direction::Rx, 16384, mode);
         c.workload.warmup_messages = 8;
         c.workload.measure_messages = 20;
-        c.tunables.dynamic_steering = steering;
+        c.steer = steer;
         run_experiment(&c).unwrap().metrics
     };
-    let no = mk(false, AffinityMode::None);
-    let rss = mk(true, AffinityMode::None);
-    let full = mk(false, AffinityMode::Full);
+    let no = mk(None, AffinityMode::None);
+    let rss = mk(
+        Some(SteerSpec::flow_director_unconfigured()),
+        AffinityMode::None,
+    );
+    let full = mk(None, AffinityMode::Full);
     assert!(
         rss.throughput_mbps() > no.throughput_mbps() * 1.05,
         "rss {:.0} vs no {:.0}",

@@ -22,14 +22,14 @@ fn rig() -> Rig {
     let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
     let nic = Nic::new(
         sim_core::DeviceId::new(0),
-        IrqVector::new(0x19),
+        &[IrqVector::new(0x19)],
         NicConfig::default(),
         &mut mem,
     );
     let stack = TcpStack::new(
         StackConfig::paper(),
         &mut mem,
-        &[nic.rx_buffers()],
+        &[nic.rx_buffers(0)],
         &[IrqVector::new(0x19)],
         65536,
     )
@@ -67,7 +67,7 @@ fn cross_cpu_stack_execution_costs_more_than_colocated() {
                 let mut ctx =
                     ExecCtx::new(&mut r.cores[ack_cpu], &mut r.mem, &mut r.prof, &mut r.rng);
                 r.stack.rx_ack(&mut ctx, CONN, 6, cross);
-                r.stack.tx_complete(&mut ctx, CONN, r.nic.tx_ring(), 6);
+                r.stack.tx_complete(&mut ctx, CONN, r.nic.tx_ring(0), 6);
             }
             if round >= 10 {
                 // skip warm-up
@@ -87,10 +87,10 @@ fn cross_cpu_stack_execution_costs_more_than_colocated() {
 #[test]
 fn dma_then_copy_misses_propagate_through_stack() {
     let mut r = rig();
-    let rx_ring = r.nic.rx_ring();
+    let rx_ring = r.nic.rx_ring(0);
     // Frames DMA in, bottom half queues them, recvmsg copies them out.
     for _ in 0..4 {
-        r.nic.dma_rx_frame(&mut r.mem, 1448);
+        r.nic.dma_rx_frame(0, &mut r.mem, 1448, 0);
     }
     {
         let mut ctx = ExecCtx::new(&mut r.cores[0], &mut r.mem, &mut r.prof, &mut r.rng);
