@@ -19,7 +19,7 @@
 //! CPU.
 
 use sim_core::{
-    ConnectionId, CpuId, DeviceId, EventQueue, IrqVector, Result, SimRng, SimTime, TaskId,
+    ConnectionId, CpuId, DeviceId, IrqVector, Result, ShardedEventQueue, SimRng, SimTime, TaskId,
 };
 use sim_cpu::{ClearReason, Core, PerfCounters};
 use sim_mem::MemorySystem;
@@ -98,7 +98,13 @@ pub struct Machine {
     stack: TcpStack,
     prof: Profiler,
     rng: SimRng,
-    events: EventQueue<Event>,
+    /// Pending device/wire events, sharded into one lane per CPU plus a
+    /// device lane (index `cpus`). Lane choice is storage layout only —
+    /// the sharded queue merges lanes in global `(time, seq)` order, so
+    /// routing cannot change pop order (see `sim_core::event`). Routing
+    /// flow/queue events to the interrupt's current home CPU keeps each
+    /// lane's calendar dense with same-CPU work.
+    events: ShardedEventQueue<Event>,
     /// MSI-X vector of each hardware queue, in global queue order.
     vectors: Vec<IrqVector>,
     ready: ReadyCpus,
@@ -303,7 +309,8 @@ impl Machine {
             // Steady state carries a few in-flight events per queue
             // (wire segments, ACKs, coalescing timers); pre-size so the
             // heap never reallocates mid-run.
-            events: EventQueue::with_capacity(
+            events: ShardedEventQueue::with_capacity(
+                cpus + 1,
                 64 * total_queues + config.tunables.peer_window as usize * flows,
             ),
             ready: ReadyCpus::new(),
@@ -352,7 +359,23 @@ impl Machine {
     /// `EventQueue::push` is unreachable from the run loop.
     fn push_event(&mut self, at: u64, event: Event) {
         let at = at.max(self.events.now().cycles());
-        self.events.push(SimTime::from_cycles(at), event);
+        let lane = self.event_lane(&event);
+        self.events.push(lane, SimTime::from_cycles(at), event);
+    }
+
+    /// Storage lane for an event: flow and queue events live in the lane
+    /// of the CPU their interrupt currently targets, machine-wide timers
+    /// in the device lane. Pop order is lane-independent.
+    fn event_lane(&self, event: &Event) -> usize {
+        let queue = match *event {
+            Event::FrameArrival { flow, .. }
+            | Event::AckArrival { flow, .. }
+            | Event::WireTx { flow, .. }
+            | Event::RtoFire { flow, .. } => self.flow_queue[flow],
+            Event::CoalesceFlush { queue, .. } => queue,
+            Event::IrqRotate | Event::LoadBalance => return self.config.cpus,
+        };
+        self.apic.route(self.vectors[queue]).index()
     }
 
     fn wire_time(&self, payload: u32) -> u64 {

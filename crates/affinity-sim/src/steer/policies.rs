@@ -83,8 +83,11 @@ impl SteeringPolicy for RssHash {
 pub struct FlowDirector {
     placement: FlowPlacement,
     /// Filter table, indexed by flow; grown lazily so machines with few
-    /// flows don't pay for the full capacity.
-    table: Vec<Option<CpuId>>,
+    /// flows don't pay for the full capacity. Entries are packed CPU
+    /// indices with [`FlowDirector::EMPTY`] for absent filters — half
+    /// the size of an `Option<CpuId>` per flow, so per-delivery lookups
+    /// stream a dense `u32` array.
+    table: Vec<u32>,
     /// Occupied entries (bounded by `capacity`).
     occupied: usize,
     capacity: usize,
@@ -92,6 +95,9 @@ pub struct FlowDirector {
 }
 
 impl FlowDirector {
+    /// Sentinel for an unoccupied filter-table entry.
+    const EMPTY: u32 = u32::MAX;
+
     /// A director over `placement`-placed flows with a `capacity`-entry
     /// filter table and `resteer_cycles` per reprogram.
     #[must_use]
@@ -131,9 +137,9 @@ impl SteeringPolicy for FlowDirector {
 
     fn consumer_ran(&mut self, flow: usize, cpu: CpuId, counters: &mut SteerCounters) {
         if flow >= self.table.len() {
-            self.table.resize(flow + 1, None);
+            self.table.resize(flow + 1, Self::EMPTY);
         }
-        if self.table[flow].is_none() {
+        if self.table[flow] == Self::EMPTY {
             if self.occupied >= self.capacity {
                 // Table full: the flow keeps its static placement.
                 counters.table_rejects += 1;
@@ -141,16 +147,16 @@ impl SteeringPolicy for FlowDirector {
             }
             self.occupied += 1;
         }
-        self.table[flow] = Some(cpu);
+        self.table[flow] = cpu.raw();
     }
 
     fn steer(&mut self, flow: usize, _counters: &mut SteerCounters) -> Option<SteerDecision> {
         self.table
             .get(flow)
             .copied()
-            .flatten()
+            .filter(|&t| t != Self::EMPTY)
             .map(|target| SteerDecision {
-                target,
+                target: CpuId::new(target),
                 resteer_cycles: self.resteer_cycles,
             })
     }

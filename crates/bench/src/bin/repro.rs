@@ -6,10 +6,17 @@
 //! repro --sizes 128,65536 fig3   # restrict the size sweep
 //! repro --filter full/4096/tx    # run exactly one matrix cell
 //! repro perf           # time the benchmark matrix, append to BENCH_substrate.json
+//! repro perf --check   # compare against the latest BENCH row; exit 1 on >10% regression
 //! repro scale          # CPUs x flows x modes scaling sweep (incl. RSS)
 //! repro steer          # steering-policy sweep: RSS vs Flow Director
 //! repro --quick perf   # smoke variants at tiny message counts (CI)
 //! ```
+//!
+//! `--filter` narrows the sweep subcommands to matching cells — the
+//! spec is `mode/size/dir` for `perf`, `mode/cpus/flows` for `scale`,
+//! and `policy/coalesce/cpus` (e.g. `flowdir/adaptive/8`) for `steer`.
+//! A filter that matches no cells lists the valid tokens on stderr and
+//! exits 2, the same usage-error contract as a misspelled artifact.
 //!
 //! The sweep cells run on a deterministic job pool; `REPRO_THREADS`
 //! overrides the worker count (results are identical at any setting).
@@ -19,12 +26,23 @@ use affinity_sim::{
     RunMetrics, RunResult, SteerSpec, VectorLayout, PAPER_SIZES,
 };
 use bench::{
-    append_history, cell, figure_row, fnv_fold, pool_threads, run_cell, run_pool, EXTREME_POINTS,
+    append_history, cell, figure_row, fnv_fold, latest_history_entry, pool_threads, run_cell,
+    run_pool, EXTREME_POINTS,
 };
 use sim_cpu::EventCosts;
 
 /// PR number stamped on history entries appended to `BENCH_substrate.json`.
-const CURRENT_PR: u32 = 4;
+const CURRENT_PR: u32 = 6;
+
+/// History file the sweep subcommands record into and `--check` reads.
+const HISTORY_PATH: &str = "BENCH_substrate.json";
+
+/// Benchmark-name prefix of the paper-matrix rows in the history file.
+const MATRIX_BENCHMARK: &str = "full figure matrix";
+
+/// Wall-time slack `perf --check` allows over the recorded row before it
+/// declares a regression.
+const CHECK_SLACK: f64 = 1.10;
 
 /// Every artifact name `repro` understands, for validation and `--help`.
 const KNOWN_ARTIFACTS: [&str; 12] = [
@@ -35,10 +53,15 @@ const KNOWN_ARTIFACTS: [&str; 12] = [
 struct Args {
     artifacts: Vec<String>,
     sizes: Vec<u64>,
-    /// `--filter mode/size/dir`: run exactly one matrix cell.
-    filter: Option<(AffinityMode, u64, Direction)>,
+    /// `--filter <spec>`: narrow a sweep to matching cells. The spec
+    /// grammar is per-subcommand, so the raw string is kept and parsed
+    /// where it's interpreted.
+    filter: Option<String>,
     /// `--quick`: tiny message counts, no history entry (CI smoke).
     quick: bool,
+    /// `--check` (with `perf`): gate on the recorded wall time instead
+    /// of appending a new history row.
+    check: bool,
 }
 
 /// Rejects a bad command-line token: prints the offending value and the
@@ -47,8 +70,40 @@ struct Args {
 fn usage_error(what: &str, got: &str, valid: &str) -> ! {
     eprintln!("repro: unknown {what} {got:?}");
     eprintln!("  valid {what}s: {valid}");
-    eprintln!("  usage: repro [--quick] [--sizes N,N,..] [--filter mode/size/dir] [artifact..]");
+    eprintln!("  usage: repro [--quick] [--check] [--sizes N,N,..] [--filter spec] [artifact..]");
     std::process::exit(2);
+}
+
+/// Rejects a well-formed `--filter` whose tokens name no cell of the
+/// sweep being run: lists the valid tokens on stderr and exits 2 — the
+/// same usage-error contract for every sweep subcommand.
+fn empty_filter_error(subcommand: &str, spec: &str, valid: &str) -> ! {
+    eprintln!("repro {subcommand}: --filter {spec:?} matches no cells");
+    eprintln!("  valid tokens: {valid}");
+    std::process::exit(2);
+}
+
+/// The `--filter` input token for a mode (inverse of [`parse_mode`]),
+/// so empty-match errors list tokens the parser actually accepts.
+fn mode_token(mode: AffinityMode) -> &'static str {
+    match mode {
+        AffinityMode::None => "no",
+        AffinityMode::Irq => "irq",
+        AffinityMode::Process => "proc",
+        AffinityMode::Full => "full",
+        AffinityMode::Rss => "rss",
+    }
+}
+
+fn parse_mode(token: &str) -> AffinityMode {
+    match token.to_ascii_lowercase().as_str() {
+        "no" | "none" => AffinityMode::None,
+        "irq" => AffinityMode::Irq,
+        "proc" | "process" => AffinityMode::Process,
+        "full" => AffinityMode::Full,
+        "rss" => AffinityMode::Rss,
+        other => usage_error("filter mode", other, "no, irq, proc, full, rss"),
+    }
 }
 
 fn parse_filter(spec: &str) -> (AffinityMode, u64, Direction) {
@@ -60,14 +115,7 @@ fn parse_filter(spec: &str) -> (AffinityMode, u64, Direction) {
             "<mode>/<size>/<dir>, e.g. full/4096/tx (mode: no|irq|proc|full|rss; dir: tx|rx)",
         );
     }
-    let mode = match parts[0].to_ascii_lowercase().as_str() {
-        "no" | "none" => AffinityMode::None,
-        "irq" => AffinityMode::Irq,
-        "proc" | "process" => AffinityMode::Process,
-        "full" => AffinityMode::Full,
-        "rss" => AffinityMode::Rss,
-        other => usage_error("filter mode", other, "no, irq, proc, full, rss"),
-    };
+    let mode = parse_mode(parts[0]);
     let size: u64 = parts[1].parse().unwrap_or_else(|_| {
         usage_error(
             "filter size",
@@ -89,6 +137,7 @@ fn parse_args() -> Args {
         sizes: PAPER_SIZES.to_vec(),
         filter: None,
         quick: false,
+        check: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -99,10 +148,11 @@ fn parse_args() -> Args {
                 .filter_map(|s| s.trim().parse().ok())
                 .collect();
         } else if arg == "--filter" {
-            let spec = args.next().unwrap_or_default();
-            parsed.filter = Some(parse_filter(&spec));
+            parsed.filter = Some(args.next().unwrap_or_default());
         } else if arg == "--quick" {
             parsed.quick = true;
+        } else if arg == "--check" {
+            parsed.check = true;
         } else {
             parsed.artifacts.push(arg);
         }
@@ -195,9 +245,16 @@ const PRE_PR_BASELINE_S: f64 = 13.5;
 /// four modes, two seeds (112 cells, the same matrix the pre-PR harness
 /// ran for `fig3 fig4`) — and appends a history entry to
 /// `BENCH_substrate.json`. With `--quick` the cells run at tiny message
-/// counts as a CI smoke check and nothing is recorded.
-fn perf(quick: bool) {
+/// counts as a CI smoke check and nothing is recorded. With `--check`
+/// nothing is recorded either: the fresh wall time is compared against
+/// the latest matching history row instead, and the process exits 1 if
+/// it is more than 10% slower — the perf scoreboard as a gate.
+fn perf(quick: bool, check: bool, filter: Option<&str>) {
     const SEEDS: [u64; 2] = [0x5EED, 42];
+    if check && filter.is_some() {
+        eprintln!("repro perf: --check times the full matrix; drop --filter");
+        std::process::exit(2);
+    }
     let mut jobs: Vec<(Direction, u64, AffinityMode, u64)> = Vec::new();
     for dir in [Direction::Tx, Direction::Rx] {
         for &size in &PAPER_SIZES {
@@ -206,6 +263,23 @@ fn perf(quick: bool) {
                     jobs.push((dir, size, mode, seed));
                 }
             }
+        }
+    }
+    if let Some(spec) = filter {
+        let (mode, size, dir) = parse_filter(spec);
+        jobs.retain(|&(d, s, m, _)| d == dir && s == size && m == mode);
+        if jobs.is_empty() {
+            let sizes: Vec<String> = PAPER_SIZES.iter().map(u64::to_string).collect();
+            let modes: Vec<&str> = AffinityMode::ALL.iter().map(|&m| mode_token(m)).collect();
+            empty_filter_error(
+                "perf",
+                spec,
+                &format!(
+                    "mode {}; size {}; dir tx, rx",
+                    modes.join(", "),
+                    sizes.join(", ")
+                ),
+            );
         }
     }
     let cells = jobs.len();
@@ -229,13 +303,21 @@ fn perf(quick: bool) {
     });
     let wall = t0.elapsed().as_secs_f64();
     let digest = fnv_fold(results.iter().copied());
+    if filter.is_some() {
+        println!(
+            "{cells} cells in {wall:.2} s ({rate:.1} cells/sec), digest {digest:016x}",
+            rate = cells as f64 / wall,
+        );
+        eprintln!("filtered run: not recorded in {HISTORY_PATH}");
+        return;
+    }
     let baseline = std::env::var("REPRO_BASELINE_S")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(PRE_PR_BASELINE_S);
     let json = format!(
         "  {{\n    \"pr\": {CURRENT_PR},\n    \
-         \"benchmark\": \"full figure matrix (2 dirs x {n_sizes} sizes x 4 modes x 2 seeds)\",\n    \
+         \"benchmark\": \"{MATRIX_BENCHMARK} (2 dirs x {n_sizes} sizes x 4 modes x 2 seeds)\",\n    \
          \"cells\": {cells},\n    \"threads\": {threads},\n    \
          \"baseline_wall_s\": {baseline:.2},\n    \"current_wall_s\": {wall:.2},\n    \
          \"speedup\": {speedup:.2},\n    \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
@@ -243,10 +325,53 @@ fn perf(quick: bool) {
         speedup = baseline / wall,
         rate = cells as f64 / wall,
     );
+    if check {
+        // Quick runs time a different workload, so only gate a full run
+        // against rows recorded at the same worker count.
+        let row = latest_history_entry(
+            HISTORY_PATH,
+            MATRIX_BENCHMARK,
+            if quick { None } else { Some(threads) },
+        );
+        let Some(row) = row else {
+            eprintln!(
+                "perf check FAILED: no \"{MATRIX_BENCHMARK}\" row{} in {HISTORY_PATH} to compare against",
+                if quick {
+                    String::new()
+                } else {
+                    format!(" at threads={threads}")
+                }
+            );
+            std::process::exit(1);
+        };
+        println!("{json}");
+        if quick {
+            eprintln!(
+                "perf check: smoke mode — quick counts are not comparable to the recorded \
+                 {:.2} s (PR {}); timing gate skipped",
+                row.wall_s, row.pr
+            );
+        } else {
+            let limit = row.wall_s * CHECK_SLACK;
+            if wall > limit {
+                eprintln!(
+                    "perf check FAILED: {wall:.2} s vs recorded {:.2} s (PR {}, threads {}) \
+                     — over the {limit:.2} s limit",
+                    row.wall_s, row.pr, row.threads
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "perf check OK: {wall:.2} s vs recorded {:.2} s (PR {}, limit {limit:.2} s)",
+                row.wall_s, row.pr
+            );
+        }
+        return;
+    }
     if quick {
-        eprintln!("quick smoke run: not recorded in BENCH_substrate.json");
+        eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
     } else {
-        append_history("BENCH_substrate.json", &json);
+        append_history(HISTORY_PATH, &json);
     }
     println!("{json}");
 }
@@ -258,7 +383,7 @@ fn perf(quick: bool) {
 /// CPUs should add bandwidth, which is exactly the future the paper's
 /// conclusion sketches. Deterministic: the digest is independent of
 /// `REPRO_THREADS`.
-fn scale(quick: bool) {
+fn scale(quick: bool, filter: Option<&str>) {
     const MODES: [AffinityMode; 4] = [
         AffinityMode::None,
         AffinityMode::Irq,
@@ -276,6 +401,39 @@ fn scale(quick: bool) {
             for mode in MODES {
                 jobs.push((cpus, flows, mode));
             }
+        }
+    }
+    if let Some(spec) = filter {
+        let parts: Vec<&str> = spec.split('/').collect();
+        if parts.len() != 3 {
+            usage_error(
+                "filter",
+                spec,
+                "<mode>/<cpus>/<flows> for scale, e.g. rss/8/64",
+            );
+        }
+        let mode = parse_mode(parts[0]);
+        let cpus_want: usize = parts[1].parse().unwrap_or_else(|_| {
+            usage_error("filter cpus", parts[1], "a CPU count, e.g. 2, 4, 8, 16")
+        });
+        let flows_want: usize = parts[2].parse().unwrap_or_else(|_| {
+            usage_error("filter flows", parts[2], "a flow count, e.g. 8, 64, 256")
+        });
+        jobs.retain(|&(c, f, m)| c == cpus_want && f == flows_want && m == mode);
+        if jobs.is_empty() {
+            let cpus: Vec<String> = cpu_grid.iter().map(usize::to_string).collect();
+            let flows: Vec<String> = flow_grid.iter().map(usize::to_string).collect();
+            let modes: Vec<&str> = MODES.iter().map(|&m| mode_token(m)).collect();
+            empty_filter_error(
+                "scale",
+                spec,
+                &format!(
+                    "mode {}; cpus {}; flows {}",
+                    modes.join(", "),
+                    cpus.join(", "),
+                    flows.join(", ")
+                ),
+            );
         }
     }
     let cells = jobs.len();
@@ -301,6 +459,21 @@ fn scale(quick: bool) {
     });
     let wall = t0.elapsed().as_secs_f64();
     let digest = fnv_fold(results.iter().map(|&(cycles, _, _)| cycles));
+
+    if filter.is_some() {
+        for (&(cpus, flows, mode), &(cycles, mbps, cost)) in jobs.iter().zip(&results) {
+            println!(
+                "{cpus} cpus, {flows} flows, {}: {mbps:.0} Mb/s, {cost:.2} GHz/Gbps, {cycles} cycles",
+                mode.label(),
+            );
+        }
+        println!(
+            "{cells} cells in {wall:.2} s ({rate:.1} cells/sec), digest {digest:016x}",
+            rate = cells as f64 / wall,
+        );
+        eprintln!("filtered run: not recorded in {HISTORY_PATH}");
+        return;
+    }
 
     println!("scaling sweep (Rx, 4KB messages, one NIC queue per CPU)");
     let header = format!(
@@ -345,7 +518,7 @@ fn scale(quick: bool) {
     );
 
     if quick {
-        eprintln!("quick smoke run: not recorded in BENCH_substrate.json");
+        eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
     } else {
         let json = format!(
             "  {{\n    \"pr\": {CURRENT_PR},\n    \
@@ -355,7 +528,7 @@ fn scale(quick: bool) {
              \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
             rate = cells as f64 / wall,
         );
-        append_history("BENCH_substrate.json", &json);
+        append_history(HISTORY_PATH, &json);
     }
 }
 
@@ -368,7 +541,7 @@ fn scale(quick: bool) {
 /// Director chases the consumer and so completes some flows' frames on
 /// a different CPU than the previous batch — the reordering signature.
 /// Deterministic: the digest is independent of `REPRO_THREADS`.
-fn steer(quick: bool) {
+fn steer(quick: bool, filter: Option<&str>) {
     let rss_static = SteerSpec {
         placement: FlowPlacement::RssHash,
         vectors: VectorLayout::SplitEven,
@@ -396,6 +569,31 @@ fn steer(quick: bool) {
     for &cpus in &cpu_grid {
         for variant in 0..variants.len() {
             jobs.push((cpus, variant));
+        }
+    }
+    if let Some(spec) = filter {
+        let parts: Vec<&str> = spec.split('/').collect();
+        if parts.len() != 3 {
+            usage_error(
+                "filter",
+                spec,
+                "<policy>/<coalesce>/<cpus> for steer, e.g. flowdir/adaptive/8",
+            );
+        }
+        // Variant names are "<policy>/<coalesce>" (e.g. "FlowDir/adaptive").
+        let policy = format!("{}/{}", parts[0], parts[1]);
+        let cpus_want: usize = parts[2]
+            .parse()
+            .unwrap_or_else(|_| usage_error("filter cpus", parts[2], "a CPU count, e.g. 4, 8, 16"));
+        jobs.retain(|&(cpus, v)| cpus == cpus_want && variants[v].0.eq_ignore_ascii_case(&policy));
+        if jobs.is_empty() {
+            let cpus: Vec<String> = cpu_grid.iter().map(usize::to_string).collect();
+            let policies: Vec<&str> = variants.iter().map(|v| v.0).collect();
+            empty_filter_error(
+                "steer",
+                spec,
+                &format!("policy {}; cpus {}", policies.join(", "), cpus.join(", ")),
+            );
         }
     }
     let cells = jobs.len();
@@ -443,27 +641,33 @@ fn steer(quick: bool) {
             counters.ooo_completions,
         );
     }
-    let top_cpus = *cpu_grid.last().expect("non-empty cpu grid");
-    let at = |name: &str| {
-        jobs.iter()
-            .zip(&results)
-            .find(|((cpus, v), _)| *cpus == top_cpus && variants[*v].0 == name)
-            .map(|(_, &(_, mbps, ..))| mbps)
-            .expect("variant present")
-    };
-    println!(
-        "\nat {top_cpus} cpus: FlowDir {flowdir:.0} Mb/s vs RSS {rss:.0} Mb/s ({gain:+.1}%)",
-        flowdir = at("FlowDir/fixed"),
-        rss = at("RSS/fixed"),
-        gain = 100.0 * (at("FlowDir/fixed") / at("RSS/fixed") - 1.0),
-    );
+    // A filtered subset may not contain the variants the comparative
+    // summary needs, so it only renders for the full sweep.
+    if filter.is_none() {
+        let top_cpus = *cpu_grid.last().expect("non-empty cpu grid");
+        let at = |name: &str| {
+            jobs.iter()
+                .zip(&results)
+                .find(|((cpus, v), _)| *cpus == top_cpus && variants[*v].0 == name)
+                .map(|(_, &(_, mbps, ..))| mbps)
+                .expect("variant present")
+        };
+        println!(
+            "\nat {top_cpus} cpus: FlowDir {flowdir:.0} Mb/s vs RSS {rss:.0} Mb/s ({gain:+.1}%)",
+            flowdir = at("FlowDir/fixed"),
+            rss = at("RSS/fixed"),
+            gain = 100.0 * (at("FlowDir/fixed") / at("RSS/fixed") - 1.0),
+        );
+    }
     println!(
         "{cells} cells in {wall:.2} s ({rate:.1} cells/sec), digest {digest:016x}",
         rate = cells as f64 / wall,
     );
 
     if quick {
-        eprintln!("quick smoke run: not recorded in BENCH_substrate.json");
+        eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
+    } else if filter.is_some() {
+        eprintln!("filtered run: not recorded in {HISTORY_PATH}");
     } else {
         let json = format!(
             "  {{\n    \"pr\": {CURRENT_PR},\n    \
@@ -474,7 +678,7 @@ fn steer(quick: bool) {
             n_cpus = cpu_grid.len(),
             rate = cells as f64 / wall,
         );
-        append_history("BENCH_substrate.json", &json);
+        append_history(HISTORY_PATH, &json);
     }
 }
 
@@ -485,23 +689,29 @@ fn main() {
         sizes,
         filter,
         quick,
+        check,
     } = args;
     let wants = |name: &str| artifacts.iter().any(|a| a == name);
 
-    if let Some((mode, size, direction)) = filter {
-        run_filtered(mode, size, direction, quick);
+    if wants("perf") {
+        perf(quick, check, filter.as_deref());
         return;
     }
-    if wants("perf") {
-        perf(quick);
-        return;
+    if check {
+        eprintln!("repro: --check only applies to `repro perf`");
+        std::process::exit(2);
     }
     if wants("scale") {
-        scale(quick);
+        scale(quick, filter.as_deref());
         return;
     }
     if wants("steer") {
-        steer(quick);
+        steer(quick, filter.as_deref());
+        return;
+    }
+    if let Some(spec) = &filter {
+        let (mode, size, direction) = parse_filter(spec);
+        run_filtered(mode, size, direction, quick);
         return;
     }
 

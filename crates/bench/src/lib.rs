@@ -145,6 +145,72 @@ pub fn append_history(path: &str, entry: &str) {
     std::fs::write(path, body).unwrap_or_else(|e| panic!("write history {path}: {e}"));
 }
 
+/// One row of the append-only benchmark history, as read back by
+/// [`latest_history_entry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoryEntry {
+    /// PR number stamped on the row.
+    pub pr: u32,
+    /// Worker-pool size the row was recorded at.
+    pub threads: usize,
+    /// Recorded wall seconds.
+    pub wall_s: f64,
+}
+
+/// Extracts the value of `"key": value` from one history line, with the
+/// trailing comma stripped (string values keep their quotes).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = line.trim().strip_prefix('"')?.strip_prefix(key)?;
+    let rest = rest.strip_prefix('"')?.trim_start().strip_prefix(':')?;
+    Some(rest.trim().trim_end_matches(','))
+}
+
+/// Scans an append-only history file (the format [`append_history`]
+/// writes: one `"key": value` pair per line) and returns the **newest**
+/// entry whose `benchmark` field starts with `benchmark_prefix` and —
+/// when `threads` is given — whose recorded worker count matches, so a
+/// fresh run is only compared against rows timed the same way.
+///
+/// Returns `None` when the file is missing or no row matches.
+#[must_use]
+pub fn latest_history_entry(
+    path: &str,
+    benchmark_prefix: &str,
+    threads: Option<usize>,
+) -> Option<HistoryEntry> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut newest = None;
+    let (mut pr, mut thr, mut wall) = (None::<u32>, None::<usize>, None::<f64>);
+    let mut benchmark: Option<String> = None;
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(v) = json_field(t, "pr") {
+            pr = v.parse().ok();
+        } else if let Some(v) = json_field(t, "threads") {
+            thr = v.parse().ok();
+        } else if let Some(v) = json_field(t, "current_wall_s") {
+            wall = v.parse().ok();
+        } else if let Some(v) = json_field(t, "benchmark") {
+            benchmark = Some(v.trim_matches('"').to_string());
+        } else if t.starts_with('}') {
+            if let (Some(pr), Some(threads_row), Some(wall_s), Some(bench)) =
+                (pr, thr, wall, benchmark.as_deref())
+            {
+                if bench.starts_with(benchmark_prefix) && threads.map_or(true, |n| n == threads_row)
+                {
+                    newest = Some(HistoryEntry {
+                        pr,
+                        threads: threads_row,
+                        wall_s,
+                    });
+                }
+            }
+            (pr, thr, wall, benchmark) = (None, None, None, None);
+        }
+    }
+    newest
+}
+
 /// Averages the metrics of several runs of the same cell: every counter
 /// — scalars, per-CPU vectors, the machine-wide event bank, the per-bin
 /// banks and the clear-reason breakdown — becomes the rounded mean of
@@ -320,6 +386,44 @@ mod tests {
         assert_eq!(
             std::fs::read_to_string(path).unwrap(),
             "[\n{\n  \"old\": true\n},\n{\"pr\": 3}\n]\n"
+        );
+
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn latest_history_entry_picks_newest_matching_row() {
+        let path = std::env::temp_dir().join(format!("bench_latest_{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        assert_eq!(latest_history_entry(path, "full figure matrix", None), None);
+
+        for (pr, threads, wall, bench) in [
+            (1, 1, 6.48, "full figure matrix (2 dirs x 7 sizes)"),
+            (3, 1, 5.67, "scale sweep (4 CPU counts)"),
+            (4, 1, 7.27, "full figure matrix (2 dirs x 7 sizes)"),
+            (4, 8, 2.11, "full figure matrix (2 dirs x 7 sizes)"),
+        ] {
+            append_history(
+                path,
+                &format!(
+                    "  {{\n    \"pr\": {pr},\n    \"benchmark\": \"{bench}\",\n    \
+                     \"threads\": {threads},\n    \"current_wall_s\": {wall:.2}\n  }}"
+                ),
+            );
+        }
+
+        // Newest matching row wins; the threads constraint narrows it.
+        let any = latest_history_entry(path, "full figure matrix", None).unwrap();
+        assert_eq!((any.pr, any.threads, any.wall_s), (4, 8, 2.11));
+        let single = latest_history_entry(path, "full figure matrix", Some(1)).unwrap();
+        assert_eq!((single.pr, single.wall_s), (4, 7.27));
+        let scale = latest_history_entry(path, "scale sweep", None).unwrap();
+        assert_eq!((scale.pr, scale.wall_s), (3, 5.67));
+        assert_eq!(latest_history_entry(path, "steering sweep", None), None);
+        assert_eq!(
+            latest_history_entry(path, "full figure matrix", Some(3)),
+            None
         );
 
         let _ = std::fs::remove_file(path);

@@ -40,7 +40,7 @@ mod time;
 mod trace;
 
 pub use error::SimError;
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventQueue, ScheduledEvent, ShardedEventQueue};
 pub use ids::{ConnectionId, CpuId, DeviceId, IrqVector, TaskId};
 pub use rng::SimRng;
 pub use stats::{Accumulator, Histogram, RateMeter};

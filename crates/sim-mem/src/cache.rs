@@ -41,16 +41,14 @@ impl CacheStats {
     }
 }
 
-/// Per-way state bit: the way holds a line.
-const VALID: u8 = 1 << 0;
-/// Per-way state bit: the held line is modified.
-const DIRTY: u8 = 1 << 1;
-
 /// A set-associative, write-allocate, LRU cache over line addresses.
 ///
-/// Way state is stored structure-of-arrays — contiguous tags, one packed
-/// flag byte per way, and a separate LRU array — so the hit scan of a set
+/// Way state is stored structure-of-arrays — contiguous tags, one dirty
+/// byte per way, and a separate LRU array — so the hit scan of a set
 /// reads one short run of tags instead of striding over padded structs.
+/// The valid bit is packed into bit 0 of the tag word (`(line << 1) | 1`,
+/// `0` = invalid), so both the hit scan and the victim scan read a single
+/// array instead of cross-checking a parallel flag array.
 ///
 /// # Example
 ///
@@ -67,10 +65,12 @@ pub struct Cache {
     sets: usize,
     ways: usize,
     set_mask: u64,
-    /// `tags[set * ways + way]`: the line address held by the way.
+    /// `tags[set * ways + way]`: `(line << 1) | 1` when the way holds
+    /// `line`, `0` when the way is invalid.
     tags: Vec<u64>,
-    /// `flags[set * ways + way]`: [`VALID`] | [`DIRTY`] bits.
-    flags: Vec<u8>,
+    /// `dirty[set * ways + way]`: non-zero when the held line is modified.
+    /// Only meaningful while the way is valid; a fill overwrites it.
+    dirty: Vec<u8>,
     /// `lru[set * ways + way]`: timestamp, larger = more recently used.
     lru: Vec<u64>,
     clock: u64,
@@ -110,7 +110,7 @@ impl Cache {
             ways,
             set_mask: sets as u64 - 1,
             tags: vec![0; sets * ways],
-            flags: vec![0; sets * ways],
+            dirty: vec![0; sets * ways],
             lru: vec![0; sets * ways],
             clock: 0,
             stats: CacheStats::default(),
@@ -135,15 +135,27 @@ impl Cache {
         &self.name
     }
 
+    /// The tag word encoding a valid `line`.
+    #[inline]
+    fn tag_key(line: u64) -> u64 {
+        (line << 1) | 1
+    }
+
     /// Index of the way in `[base, base + ways)` holding `line`, if any.
     #[inline]
     fn find(&self, base: usize, line: u64) -> Option<usize> {
-        let tags = &self.tags[base..base + self.ways];
-        let flags = &self.flags[base..base + self.ways];
-        (0..self.ways).find(|&w| tags[w] == line && flags[w] & VALID != 0)
+        let key = Self::tag_key(line);
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == key)
     }
 
     /// Accesses `line`, filling it on a miss (write-allocate).
+    ///
+    /// The hit case is small enough to inline into the touch loops that
+    /// dominate simulation time; the fill/eviction tail stays out of line
+    /// ([`Cache::fill`]) so inlining it doesn't bloat those loops.
+    #[inline]
     pub fn access(&mut self, line: u64, kind: AccessKind) -> AccessOutcome {
         self.clock += 1;
         let set = (line & self.set_mask) as usize;
@@ -153,7 +165,7 @@ impl Cache {
         if let Some(w) = self.find(base, line) {
             self.lru[base + w] = self.clock;
             if kind == AccessKind::Write {
-                self.flags[base + w] |= DIRTY;
+                self.dirty[base + w] = 1;
             }
             self.stats.hits += 1;
             return AccessOutcome {
@@ -164,31 +176,41 @@ impl Cache {
             };
         }
 
+        self.fill(base, line, kind)
+    }
+
+    /// Miss path of [`Cache::access`]: pick a victim, evict, fill.
+    fn fill(&mut self, base: usize, line: u64, kind: AccessKind) -> AccessOutcome {
         self.stats.misses += 1;
 
-        // Fill: prefer an invalid way, else evict LRU.
-        let flags = &self.flags[base..base + self.ways];
-        let victim_idx = (0..self.ways)
-            .find(|&w| flags[w] & VALID == 0)
-            .unwrap_or_else(|| {
-                let lru = &self.lru[base..base + self.ways];
-                (0..self.ways).min_by_key(|&w| lru[w]).expect("ways > 0")
-            });
+        // Fill: prefer an invalid way, else evict LRU. One fused pass —
+        // in steady state every way is valid, so a separate invalid-way
+        // scan would walk the whole set just to fail.
+        let tags = &self.tags[base..base + self.ways];
+        let lru = &self.lru[base..base + self.ways];
+        let mut victim_idx = 0;
+        let mut best = u64::MAX;
+        for w in 0..self.ways {
+            if tags[w] & 1 == 0 {
+                victim_idx = w;
+                break;
+            }
+            if lru[w] < best {
+                best = lru[w];
+                victim_idx = w;
+            }
+        }
 
         let slot = base + victim_idx;
-        let (evicted, evicted_dirty) = if self.flags[slot] & VALID != 0 {
+        let (evicted, evicted_dirty) = if self.tags[slot] & 1 != 0 {
             self.stats.evictions += 1;
-            (Some(self.tags[slot]), self.flags[slot] & DIRTY != 0)
+            (Some(self.tags[slot] >> 1), self.dirty[slot] != 0)
         } else {
             (None, false)
         };
 
-        self.tags[slot] = line;
-        self.flags[slot] = if kind == AccessKind::Write {
-            VALID | DIRTY
-        } else {
-            VALID
-        };
+        self.tags[slot] = Self::tag_key(line);
+        self.dirty[slot] = (kind == AccessKind::Write) as u8;
         self.lru[slot] = self.clock;
 
         AccessOutcome {
@@ -224,13 +246,13 @@ impl Cache {
         for (i, &slot) in slots.iter().enumerate() {
             let slot = slot as usize;
             debug_assert!(
-                self.flags[slot] & VALID != 0 && self.tags[slot] == first_line + i as u64,
+                self.tags[slot] == Self::tag_key(first_line + i as u64),
                 "stale slot cache: slot {slot} does not hold line {}",
                 first_line + i as u64
             );
             self.lru[slot] = base_clock + i as u64 + 1;
             if write {
-                self.flags[slot] |= DIRTY;
+                self.dirty[slot] = 1;
             }
         }
     }
@@ -247,7 +269,7 @@ impl Cache {
     pub fn invalidate(&mut self, line: u64) -> bool {
         let base = (line & self.set_mask) as usize * self.ways;
         if let Some(w) = self.find(base, line) {
-            self.flags[base + w] = 0;
+            self.tags[base + w] = 0;
             self.stats.invalidations += 1;
             true
         } else {
@@ -260,13 +282,13 @@ impl Cache {
     pub fn clean(&mut self, line: u64) {
         let base = (line & self.set_mask) as usize * self.ways;
         if let Some(w) = self.find(base, line) {
-            self.flags[base + w] &= !DIRTY;
+            self.dirty[base + w] = 0;
         }
     }
 
     /// Drops every line (e.g. simulating a full flush).
     pub fn flush(&mut self) {
-        self.flags.fill(0);
+        self.tags.fill(0);
     }
 
     /// Counter snapshot.
@@ -283,7 +305,7 @@ impl Cache {
     /// Number of currently valid lines.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.flags.iter().filter(|&&f| f & VALID != 0).count()
+        self.tags.iter().filter(|&&t| t & 1 != 0).count()
     }
 
     /// Total capacity in lines.

@@ -280,6 +280,7 @@ impl FetchResult {
 /// Bookkeeping is identical to one probe per line (see [`Tlb::access_n`]);
 /// returns the number of page walks, which equals the per-line miss count
 /// because within one run only the first probe of a page can miss.
+#[inline]
 fn probe_pages(tlb: &mut Tlb, first: u64, last: u64, lines_per_page_shift: u32) -> u64 {
     let mut misses = 0;
     let mut line = first;
@@ -310,15 +311,30 @@ pub struct MemorySystem {
     /// (a touch can run past its region's end, so attribution goes by the
     /// line actually affected, not by the touched region).
     page_region: Vec<u32>,
-    /// `summaries[cpu][region]`: residency fast-path state.
-    summaries: Vec<Vec<Summary>>,
+    /// `summaries[region * cpus + cpu]`: residency fast-path state, flat
+    /// and region-contiguous so a touch indexes it with the same offset
+    /// arithmetic as `gens`.
+    summaries: Vec<Summary>,
     /// `gens[region * cpus + cpu]`: the (CPU, region) change generation
     /// guarding that summary's claims. Kept flat and region-contiguous so
     /// the fill path can bump every CPU's view of a region with one short
     /// contiguous run of increments.
     gens: Vec<u64>,
-    /// `code_summaries[cpu][region]`: trace-cache fast-path state.
-    code_summaries: Vec<Vec<CodeSummary>>,
+    /// `code_summaries[region * cpus + cpu]`: trace-cache fast-path state,
+    /// laid out like `summaries`.
+    code_summaries: Vec<CodeSummary>,
+    /// Reused per-line sharer-mask buffer for [`MemorySystem::dma_write`]'s
+    /// two-pass directory delta (gather sharers, then apply per CPU).
+    #[serde(skip)]
+    dma_sharers: Vec<u32>,
+    /// Reused deferred-coherence buffers for [`MemorySystem::data_touch`]:
+    /// remote invalidations `(line, cpu mask)` from writes and remote
+    /// downgrades `(line, owner)` from reads, applied after the walk so
+    /// the walk loop holds a single CPU's caches borrowed throughout.
+    #[serde(skip)]
+    remote_invals: Vec<(u64, u32)>,
+    #[serde(skip)]
+    remote_cleans: Vec<(u64, u8)>,
     line_shift: u32,
     page_shift: u32,
 }
@@ -370,9 +386,12 @@ impl MemorySystem {
             regions: RegionTable::new(config.page_size as u64),
             directory: Vec::new(),
             page_region: Vec::new(),
-            summaries: vec![Vec::new(); cpus.len()],
+            summaries: Vec::new(),
             gens: Vec::new(),
-            code_summaries: vec![Vec::new(); cpus.len()],
+            code_summaries: Vec::new(),
+            dma_sharers: Vec::new(),
+            remote_invals: Vec::new(),
+            remote_cleans: Vec::new(),
             cpus,
             config,
         }
@@ -409,13 +428,12 @@ impl MemorySystem {
         for p in &mut self.page_region[first_page..pages] {
             *p = id.index() as u32;
         }
-        for per_cpu in &mut self.summaries {
-            per_cpu.push(Summary::default());
-        }
-        self.gens.extend(std::iter::repeat_n(0, self.cpus.len()));
-        for per_cpu in &mut self.code_summaries {
-            per_cpu.push(CodeSummary::default());
-        }
+        let ncpus = self.cpus.len();
+        self.summaries
+            .extend(std::iter::repeat_with(Summary::default).take(ncpus));
+        self.gens.extend(std::iter::repeat_n(0, ncpus));
+        self.code_summaries
+            .extend(std::iter::repeat_with(CodeSummary::default).take(ncpus));
         id
     }
 
@@ -482,17 +500,21 @@ impl MemorySystem {
             page_region,
             summaries,
             gens,
+            remote_invals,
+            remote_cleans,
             ..
         } = self;
         let ncpus = cpus.len();
+        // Flat (region, cpu) offset, shared by `gens` and `summaries`.
+        let si = region.index() * ncpus + idx;
 
         // Fast path: every line is a private L1 hit, so coherence and the
         // directory update are no-ops and only the L1 bookkeeping remains
         // — applied by pre-resolved storage slot, skipping the set scan.
         // Touches that run past the region end (offset wrap) take the
         // slow path — the summary only covers the region's own lines.
-        let gen = gens[region.index() * ncpus + idx];
-        let s = &summaries[idx][region.index()];
+        let gen = gens[si];
+        let s = &summaries[si];
         if s.is_current(gen) && (!write || s.owned) && last <= region_last_line {
             let lo = (first - region_first_line) as usize;
             cpus[idx]
@@ -514,7 +536,7 @@ impl MemorySystem {
         // recycled first; otherwise replacement round-robins. The choice
         // has no observable effect, so any deterministic policy is fine.
         let (span_idx, mut span_slots) = {
-            let s = &mut summaries[idx][region.index()];
+            let s = &mut summaries[si];
             let i = if let Some(i) = s.spans.iter().position(|c| c.gen != gen) {
                 i
             } else if s.spans.len() < SPAN_CLAIMS {
@@ -528,6 +550,17 @@ impl MemorySystem {
             (i, std::mem::take(&mut s.spans[i].slots))
         };
         span_slots.clear();
+        // The walk holds this CPU's caches borrowed for its whole length;
+        // the rare coherence actions against *other* CPUs' caches are
+        // recorded and applied after the loop. Deferral is exact: the
+        // walk's lines are distinct and the walk only reads its own
+        // hierarchy, the directory and `gens`, never a remote cache — so
+        // a remote invalidation or downgrade commutes with everything
+        // between its original position and the end of the walk. The
+        // directory and generation updates stay in line order.
+        remote_invals.clear();
+        remote_cleans.clear();
+        let my = &mut cpus[idx];
         for line in first..=last {
             // Coherence: writes invalidate remote copies; reads downgrade
             // a remote modified owner. For a read, the L1 is probed first:
@@ -546,35 +579,31 @@ impl MemorySystem {
                     entry.owner = Some(me);
                     if others != 0 {
                         let r_line = page_region[(line >> lpp) as usize] as usize;
-                        for (other, c) in cpus.iter_mut().enumerate() {
-                            if others & (1 << other) != 0 {
-                                c.l1.invalidate(line);
-                                c.l2.invalidate(line);
-                                c.llc.invalidate(line);
-                                gens[r_line * ncpus + other] += 1;
-                            }
+                        let mut m = others;
+                        while m != 0 {
+                            let other = m.trailing_zeros() as usize;
+                            gens[r_line * ncpus + other] += 1;
+                            m &= m - 1;
                         }
                         // The write privatised the line: let this CPU's
                         // summary re-scan for the `owned` upgrade.
                         gens[r_line * ncpus + idx] += 1;
+                        remote_invals.push((line, others));
                     }
-                    cpus[idx].l1.access(line, kind)
+                    my.l1.access(line, kind)
                 }
                 AccessKind::Read => {
-                    let l1 = cpus[idx].l1.access(line, kind);
+                    let l1 = my.l1.access(line, kind);
                     if !l1.hit {
                         let entry = &mut directory[line as usize];
                         if let Some(owner) = entry.owner {
                             if owner as usize != idx {
                                 // Remote modified copy: force writeback,
                                 // keep shared.
-                                let c = &mut cpus[owner as usize];
-                                c.l1.clean(line);
-                                c.l2.clean(line);
-                                c.llc.clean(line);
                                 entry.owner = None;
                                 let r_line = page_region[(line >> lpp) as usize] as usize;
                                 gens[r_line * ncpus + owner as usize] += 1;
+                                remote_cleans.push((line, owner));
                             }
                         }
                     }
@@ -583,7 +612,6 @@ impl MemorySystem {
             };
 
             span_slots.push(l1.slot);
-            let caches = &mut cpus[idx];
             if l1.hit {
                 continue;
             }
@@ -591,17 +619,17 @@ impl MemorySystem {
             if let Some(victim) = l1.evicted {
                 gens[page_region[(victim >> lpp) as usize] as usize * ncpus + idx] += 1;
             }
-            let l2 = caches.l2.access(line, kind);
+            let l2 = my.l2.access(line, kind);
             if l2.hit {
                 continue;
             }
             result.l2_misses += 1;
-            let llc = caches.llc.access(line, kind);
+            let llc = my.llc.access(line, kind);
             if let Some(victim) = llc.evicted {
                 // Inclusive LLC: back-invalidate inner levels and drop the
                 // victim from the directory's view of this CPU.
-                caches.l1.invalidate(victim);
-                caches.l2.invalidate(victim);
+                my.l1.invalidate(victim);
+                my.l2.invalidate(victim);
                 let e = &mut directory[victim as usize];
                 e.sharers &= !me_bit;
                 if e.owner == Some(me) {
@@ -624,14 +652,32 @@ impl MemorySystem {
                 *g += 1;
             }
         }
+        // Apply the deferred remote-cache coherence actions (see above).
+        for &(line, others) in remote_invals.iter() {
+            let mut m = others;
+            while m != 0 {
+                let other = m.trailing_zeros() as usize;
+                let c = &mut cpus[other];
+                c.l1.invalidate(line);
+                c.l2.invalidate(line);
+                c.llc.invalidate(line);
+                m &= m - 1;
+            }
+        }
+        for &(line, owner) in remote_cleans.iter() {
+            let c = &mut cpus[owner as usize];
+            c.l1.clean(line);
+            c.l2.clean(line);
+            c.llc.clean(line);
+        }
 
         // Promotion: a touch that never left the L1 cannot have changed
         // anything mid-walk, so a verification scan over the region's own
         // lines can (re-)establish the summary for future touches.
-        let gen_now = gens[region.index() * ncpus + idx];
+        let gen_now = gens[si];
         if result.l1_misses == 0 {
             let region_lines = region_last_line - region_first_line + 1;
-            let s = &mut summaries[idx][region.index()];
+            let s = &mut summaries[si];
             let wants = !s.is_current(gen_now) || (write && !s.owned);
             if wants
                 && s.failed_gen != gen_now
@@ -672,7 +718,7 @@ impl MemorySystem {
         // whose events bump other summaries. The generation is stamped
         // after the walk, absorbing bumps the walk's own victims caused;
         // unclaimable spans leave their claim withdrawn.
-        let s = &mut summaries[idx][region.index()];
+        let s = &mut summaries[si];
         let c = &mut s.spans[span_idx];
         c.first = first;
         c.last = last;
@@ -728,12 +774,14 @@ impl MemorySystem {
             ..
         } = self;
         let ncpus = cpus.len();
+        // Flat (region, cpu) offset, shared by `gens` and `code_summaries`.
+        let si = region.index() * ncpus + idx;
 
         // Fast path: the last verified fetch covered exactly this span
         // with every line in the trace cache. An all-hit fetch touches
         // neither the directory nor the outer levels, so only the TC's
         // LRU/hit bookkeeping remains — applied by slot.
-        let cs = &code_summaries[idx][region.index()];
+        let cs = &code_summaries[si];
         if cs.covers(first, last) {
             cpus[idx].tc.touch_resident_run(&cs.slots, first, false);
             return result;
@@ -743,7 +791,7 @@ impl MemorySystem {
         // Reuse the summary's slot buffer to record where each span line
         // lands, so promotion below costs no extra residency scan. The
         // summary's old claim dies with its slots (see the walk's end).
-        let mut slot_buf = std::mem::take(&mut code_summaries[idx][region.index()].slots);
+        let mut slot_buf = std::mem::take(&mut code_summaries[si].slots);
         slot_buf.clear();
         for line in first..=last {
             let tc = caches.tc.access(line, AccessKind::Read);
@@ -755,7 +803,8 @@ impl MemorySystem {
             // The fill may displace another region's code; its span claim
             // dies with the victim.
             if let Some(victim) = tc.evicted {
-                code_summaries[idx][page_region[(victim >> lpp) as usize] as usize].bump();
+                let vr = page_region[(victim >> lpp) as usize] as usize;
+                code_summaries[vr * ncpus + idx].bump();
             }
             if caches.l2.access(line, AccessKind::Read).hit {
                 continue;
@@ -792,7 +841,7 @@ impl MemorySystem {
         // victims caused. Larger missy spans self-conflict mid-fetch;
         // their slots are stale, so the claim is explicitly withdrawn
         // (the buffer was stolen from the summary above).
-        let cs = &mut code_summaries[idx][region.index()];
+        let cs = &mut code_summaries[si];
         cs.span_first = first;
         cs.span_last = last;
         cs.slots = slot_buf;
@@ -823,20 +872,56 @@ impl MemorySystem {
             directory,
             page_region,
             gens,
+            dma_sharers,
             ..
         } = self;
         let ncpus = cpus.len();
+        // Two-pass directory delta. Pass 1 reads each line's directory
+        // entry once: the sharer mask is an exact superset of where the
+        // line is cached (fills set the bit, inclusive LLC eviction and
+        // write-invalidation clear it), so CPUs outside the mask need no
+        // cache probe — on them `invalidate` would miss and count nothing
+        // — and no generation bump, because any summary claim of theirs
+        // involving the line was already false (and its gen already
+        // bumped) when the line left their caches. A zero mask also means
+        // the entry is already default (an owner is always a sharer), so
+        // the reset is skipped too.
+        dma_sharers.clear();
+        let mut union_mask = 0u32;
         for line in first..=last {
-            for c in cpus.iter_mut() {
-                c.l1.invalidate(line);
-                c.l2.invalidate(line);
-                c.llc.invalidate(line);
+            let entry = &mut directory[line as usize];
+            let mask = entry.sharers;
+            dma_sharers.push(mask);
+            if mask != 0 {
+                union_mask |= mask;
+                *entry = DirEntry::default();
+                let b = page_region[(line >> lpp) as usize] as usize * ncpus;
+                let mut m = mask;
+                while m != 0 {
+                    let cpu = m.trailing_zeros() as usize;
+                    gens[b + cpu] += 1;
+                    m &= m - 1;
+                }
             }
-            directory[line as usize] = DirEntry::default();
-            let b = page_region[(line >> lpp) as usize] as usize * ncpus;
-            for g in &mut gens[b..b + ncpus] {
-                *g += 1;
+        }
+        // Pass 2 applies the delta one CPU at a time, so each CPU's cache
+        // arrays are walked in one contiguous burst. Invalidations of
+        // distinct lines in distinct caches commute, so the per-CPU order
+        // is indistinguishable from the old per-line sweep.
+        let mut m = union_mask;
+        while m != 0 {
+            let cpu = m.trailing_zeros() as usize;
+            let bit = 1u32 << cpu;
+            let c = &mut cpus[cpu];
+            for (i, &mask) in dma_sharers.iter().enumerate() {
+                if mask & bit != 0 {
+                    let line = first + i as u64;
+                    c.l1.invalidate(line);
+                    c.l2.invalidate(line);
+                    c.llc.invalidate(line);
+                }
             }
+            m &= m - 1;
         }
     }
 

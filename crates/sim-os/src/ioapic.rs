@@ -7,8 +7,6 @@
 //! static routing table: each vector delivers to the lowest-numbered CPU
 //! in its mask.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 use sim_core::{CpuId, IrqVector, Result, SimError};
 
@@ -32,8 +30,14 @@ use crate::cpumask::CpuMask;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IoApic {
     cpus: usize,
-    table: HashMap<IrqVector, CpuMask>,
-    delivered: HashMap<IrqVector, u64>,
+    /// Programmed routes, indexed by `IrqVector::index()` (vectors are
+    /// small integers, so a dense table makes `route` — which sits on the
+    /// interrupt-delivery and event-scheduling hot paths — a single
+    /// array load). Each entry caches the mask's lowest CPU; `None`
+    /// means unprogrammed (defaults to CPU0).
+    table: Vec<Option<(CpuMask, CpuId)>>,
+    /// Delivery counters, indexed like `table`.
+    delivered: Vec<u64>,
     retargets: u64,
 }
 
@@ -49,8 +53,8 @@ impl IoApic {
         assert!(cpus > 0, "need at least one cpu");
         IoApic {
             cpus,
-            table: HashMap::new(),
-            delivered: HashMap::new(),
+            table: Vec::new(),
+            delivered: Vec::new(),
             retargets: 0,
         }
     }
@@ -66,33 +70,44 @@ impl IoApic {
         if effective.is_empty() {
             return Err(SimError::EmptyAffinityMask);
         }
-        self.table.insert(vector, effective);
+        let i = vector.index();
+        if self.table.len() <= i {
+            self.table.resize(i + 1, None);
+        }
+        let lowest = effective.first().expect("checked non-empty");
+        self.table[i] = Some((effective, lowest));
         Ok(())
     }
 
     /// The mask currently programmed for `vector` (default: CPU0 only).
     #[must_use]
     pub fn affinity(&self, vector: IrqVector) -> CpuMask {
-        self.table
-            .get(&vector)
-            .copied()
-            .unwrap_or_else(|| CpuMask::single(CpuId::new(0)))
+        match self.table.get(vector.index()) {
+            Some(&Some((mask, _))) => mask,
+            _ => CpuMask::single(CpuId::new(0)),
+        }
     }
 
     /// Target CPU for a delivery of `vector`: the lowest-numbered CPU in
     /// its mask (static IO-APIC mode — no rotation).
     #[must_use]
+    #[inline]
     pub fn route(&self, vector: IrqVector) -> CpuId {
-        self.affinity(vector)
-            .first()
-            .expect("mask validated non-empty")
+        match self.table.get(vector.index()) {
+            Some(&Some((_, lowest))) => lowest,
+            _ => CpuId::new(0),
+        }
     }
 
     /// Routes and records a delivery (for `/proc/interrupts`-style
     /// accounting).
     pub fn deliver(&mut self, vector: IrqVector) -> CpuId {
         let cpu = self.route(vector);
-        *self.delivered.entry(vector).or_insert(0) += 1;
+        let i = vector.index();
+        if self.delivered.len() <= i {
+            self.delivered.resize(i + 1, 0);
+        }
+        self.delivered[i] += 1;
         cpu
     }
 
@@ -121,18 +136,18 @@ impl IoApic {
     /// Number of deliveries recorded for `vector`.
     #[must_use]
     pub fn delivery_count(&self, vector: IrqVector) -> u64 {
-        self.delivered.get(&vector).copied().unwrap_or(0)
+        self.delivered.get(vector.index()).copied().unwrap_or(0)
     }
 
     /// Total deliveries across all vectors.
     #[must_use]
     pub fn total_deliveries(&self) -> u64 {
-        self.delivered.values().sum()
+        self.delivered.iter().sum()
     }
 
     /// Resets delivery and re-target counters (keeps routing).
     pub fn reset_stats(&mut self) {
-        self.delivered.clear();
+        self.delivered.fill(0);
         self.retargets = 0;
     }
 }

@@ -1,4 +1,13 @@
-//! Per-connection state and memory regions.
+//! Per-connection state: memory regions and the flow arena.
+//!
+//! Protocol state lives in [`FlowArena`], a structure-of-arrays arena
+//! keyed by dense [`FlowId`] handles. One simulated cell touches a
+//! handful of scalar fields per segment (cursors, queue byte counts,
+//! in-flight counters) across every active flow; splitting each field
+//! into its own dense array keeps those accesses on a few hot cache
+//! lines instead of striding over ~200-byte per-connection structs, and
+//! the generation stamp in the handle catches stale references the
+//! moment an arena slot is ever reused.
 
 use std::collections::VecDeque;
 
@@ -31,54 +40,106 @@ pub struct ConnectionRegions {
     pub rx_dma_buf: RegionId,
 }
 
-/// Mutable protocol state for one connection.
+/// A generation-stamped handle into the [`FlowArena`].
+///
+/// The index is dense (slot `i` of every field array); the generation
+/// must match the arena's current generation for that slot, so a handle
+/// kept across a slot reuse panics instead of silently reading another
+/// flow's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowId {
+    index: u32,
+    gen: u32,
+}
+
+impl FlowId {
+    /// The dense slot index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+/// Structure-of-arrays arena of per-flow protocol state.
+///
+/// Field `x` of flow `f` is `x[f]` with `f = arena.slot(id)`; all arrays
+/// share one length. Fields mirror the Linux state the model charges
+/// for: socket receive queue, delayed-ACK counter, send-window
+/// accounting, and the rolling slab/DMA cursors that decide which cache
+/// lines each operation touches.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub(crate) struct ConnState {
-    pub id: ConnectionId,
-    pub regions: ConnectionRegions,
-    /// Frames sitting in the socket receive queue (payload bytes each),
-    /// with the DMA-buffer offset they point at.
-    pub rx_queue: VecDeque<(u32, u64)>,
+pub(crate) struct FlowArena {
+    /// Current generation of each slot (bumped on reuse).
+    generations: Vec<u32>,
+    pub ids: Vec<ConnectionId>,
+    pub regions: Vec<ConnectionRegions>,
+    /// Frames in the socket receive queue (payload bytes each), with the
+    /// DMA-buffer offset they point at.
+    pub rx_queue: Vec<VecDeque<(u32, u64)>>,
     /// Total bytes in the receive queue.
-    pub rx_queue_bytes: u64,
+    pub rx_queue_bytes: Vec<u64>,
     /// Data segments received since the last ACK we sent.
-    pub frames_since_ack: u32,
+    pub frames_since_ack: Vec<u32>,
     /// TX segments in flight (sent, not yet completed/acked).
-    pub tx_inflight: u32,
+    pub tx_inflight: Vec<u32>,
     /// TX segments sent but not yet cumulatively ACKed by the peer —
     /// what the congestion window binds on.
-    pub tx_unacked: u32,
+    pub tx_unacked: Vec<u32>,
     /// Rolling offset into the skb data area (send queue recycling).
-    pub skb_data_cursor: u64,
+    pub skb_data_cursor: Vec<u64>,
     /// Rolling skb-metadata allocation cursor (advances 256 B per skb).
-    pub meta_alloc_cursor: u64,
+    pub meta_alloc_cursor: Vec<u64>,
     /// Rolling skb-metadata free cursor — trails the allocation cursor,
     /// so frees touch the same slots allocations wrote (the cross-CPU
     /// transfer when allocation and free happen on different CPUs).
-    pub meta_free_cursor: u64,
+    pub meta_free_cursor: Vec<u64>,
     /// Rolling offset into the RX DMA buffer area.
-    pub rx_dma_cursor: u64,
+    pub rx_dma_cursor: Vec<u64>,
     /// Bytes the application has consumed on RX.
-    pub rx_bytes_delivered: u64,
+    pub rx_bytes_delivered: Vec<u64>,
     /// Bytes the application has submitted on TX.
-    pub tx_bytes_submitted: u64,
+    pub tx_bytes_submitted: Vec<u64>,
     /// Reno congestion control for the send side.
-    pub congestion: CongestionState,
+    pub congestion: Vec<CongestionState>,
     /// Whether the connection has completed the handshake. Connections
     /// start established (the paper's ttcp setup connects once before
     /// measurement) but still slow-start from the initial window during
     /// warm-up.
-    pub established: bool,
+    pub established: Vec<bool>,
 }
 
-impl ConnState {
-    pub(crate) fn new(
+impl FlowArena {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        FlowArena {
+            generations: Vec::with_capacity(n),
+            ids: Vec::with_capacity(n),
+            regions: Vec::with_capacity(n),
+            rx_queue: Vec::with_capacity(n),
+            rx_queue_bytes: Vec::with_capacity(n),
+            frames_since_ack: Vec::with_capacity(n),
+            tx_inflight: Vec::with_capacity(n),
+            tx_unacked: Vec::with_capacity(n),
+            skb_data_cursor: Vec::with_capacity(n),
+            meta_alloc_cursor: Vec::with_capacity(n),
+            meta_free_cursor: Vec::with_capacity(n),
+            rx_dma_cursor: Vec::with_capacity(n),
+            rx_bytes_delivered: Vec::with_capacity(n),
+            tx_bytes_submitted: Vec::with_capacity(n),
+            congestion: Vec::with_capacity(n),
+            established: Vec::with_capacity(n),
+        }
+    }
+
+    /// Allocates the connection's memory regions and appends a fresh slot
+    /// with empty protocol state.
+    pub(crate) fn insert(
+        &mut self,
         id: ConnectionId,
         mem: &mut MemorySystem,
         config: &StackConfig,
         rx_dma_buf: RegionId,
         max_message: u64,
-    ) -> Self {
+    ) -> FlowId {
         let prefix = format!("conn{}", id.index());
         let regions = ConnectionRegions {
             tcp_ctx: mem.add_region(format!("{prefix}.tcp_ctx"), config.tcp_ctx_bytes),
@@ -89,23 +150,59 @@ impl ConnState {
             rx_app_buf: mem.add_region(format!("{prefix}.rx_app_buf"), max_message.max(4096)),
             rx_dma_buf,
         };
-        ConnState {
-            id,
-            regions,
-            rx_queue: VecDeque::new(),
-            rx_queue_bytes: 0,
-            frames_since_ack: 0,
-            tx_inflight: 0,
-            tx_unacked: 0,
-            skb_data_cursor: 0,
-            meta_alloc_cursor: 0,
-            meta_free_cursor: 0,
-            rx_dma_cursor: 0,
-            rx_bytes_delivered: 0,
-            tx_bytes_submitted: 0,
-            congestion: CongestionState::new(config.initial_cwnd, config.max_cwnd),
-            established: true,
+        let index = self.ids.len() as u32;
+        self.generations.push(0);
+        self.ids.push(id);
+        self.regions.push(regions);
+        self.rx_queue.push(VecDeque::new());
+        self.rx_queue_bytes.push(0);
+        self.frames_since_ack.push(0);
+        self.tx_inflight.push(0);
+        self.tx_unacked.push(0);
+        self.skb_data_cursor.push(0);
+        self.meta_alloc_cursor.push(0);
+        self.meta_free_cursor.push(0);
+        self.rx_dma_cursor.push(0);
+        self.rx_bytes_delivered.push(0);
+        self.tx_bytes_submitted.push(0);
+        self.congestion
+            .push(CongestionState::new(config.initial_cwnd, config.max_cwnd));
+        self.established.push(true);
+        FlowId { index, gen: 0 }
+    }
+
+    /// Number of flows in the arena.
+    pub(crate) fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The current-generation handle for the dense connection `conn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range.
+    pub(crate) fn handle(&self, conn: ConnectionId) -> FlowId {
+        let index = conn.index();
+        FlowId {
+            index: index as u32,
+            gen: self.generations[index],
         }
+    }
+
+    /// Resolves a handle to its slot index, checking the generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's generation doesn't match the slot's (the
+    /// slot was reused since the handle was taken).
+    #[inline]
+    pub(crate) fn slot(&self, flow: FlowId) -> usize {
+        let index = flow.index as usize;
+        assert_eq!(
+            self.generations[index], flow.gen,
+            "stale FlowId: slot {index} was reused"
+        );
+        index
     }
 }
 
@@ -114,18 +211,24 @@ mod tests {
     use super::*;
     use sim_mem::MemoryConfig;
 
-    #[test]
-    fn regions_are_allocated_distinct() {
+    fn arena_with_one(conn: u32) -> (MemorySystem, FlowArena, FlowId) {
         let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
         let dma = mem.add_region("nic0.rx_buffers", 64 * 1024);
-        let c = ConnState::new(
-            ConnectionId::new(3),
+        let mut arena = FlowArena::with_capacity(1);
+        let flow = arena.insert(
+            ConnectionId::new(conn),
             &mut mem,
             &StackConfig::paper(),
             dma,
             65536,
         );
-        let r = c.regions;
+        (mem, arena, flow)
+    }
+
+    #[test]
+    fn regions_are_allocated_distinct() {
+        let (mem, arena, flow) = arena_with_one(3);
+        let r = arena.regions[arena.slot(flow)];
         let all = [
             r.tcp_ctx,
             r.sock,
@@ -139,23 +242,34 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
-        assert_eq!(r.rx_dma_buf, dma);
         assert_eq!(mem.regions().get(r.tcp_ctx).name(), "conn3.tcp_ctx");
     }
 
     #[test]
     fn fresh_state_is_empty() {
-        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
-        let dma = mem.add_region("d", 1024);
-        let c = ConnState::new(
-            ConnectionId::new(0),
-            &mut mem,
-            &StackConfig::paper(),
-            dma,
-            128,
-        );
-        assert!(c.rx_queue.is_empty());
-        assert_eq!(c.rx_queue_bytes, 0);
-        assert_eq!(c.tx_inflight, 0);
+        let (_mem, arena, flow) = arena_with_one(0);
+        let s = arena.slot(flow);
+        assert!(arena.rx_queue[s].is_empty());
+        assert_eq!(arena.rx_queue_bytes[s], 0);
+        assert_eq!(arena.tx_inflight[s], 0);
+        assert!(arena.established[s]);
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn handles_round_trip_through_slots() {
+        let (_mem, arena, flow) = arena_with_one(0);
+        assert_eq!(arena.handle(ConnectionId::new(0)), flow);
+        assert_eq!(flow.index(), 0);
+        assert_eq!(arena.slot(flow), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale FlowId")]
+    fn stale_generation_is_rejected() {
+        let (_mem, mut arena, flow) = arena_with_one(0);
+        // Simulate a slot reuse: bump the generation behind the handle.
+        arena.generations[0] += 1;
+        let _ = arena.slot(flow);
     }
 }

@@ -41,5 +41,5 @@ mod stack;
 pub use bin::Bin;
 pub use config::{FuncCost, StackConfig};
 pub use congestion::{CongestionPhase, CongestionState};
-pub use conn::ConnectionRegions;
+pub use conn::{ConnectionRegions, FlowId};
 pub use stack::{ExecCtx, RxBatchOutcome, TcpStack};

@@ -1,7 +1,5 @@
 //! The TCP stack executor.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 use sim_core::{ConnectionId, IrqVector, Result, SimError, SimRng};
 use sim_cpu::{Core, DataTouch, PerfCounters, WorkItem};
@@ -12,7 +10,7 @@ use sim_prof::{FuncId, FunctionRegistry, ProfScratch, Profiler};
 
 use crate::bin::Bin;
 use crate::config::{FuncCost, StackConfig};
-use crate::conn::{ConnState, ConnectionRegions};
+use crate::conn::{ConnectionRegions, FlowArena};
 
 /// Execution context threaded through every stack operation: the CPU the
 /// code runs on, the coherent memory system, the profiler receiving
@@ -123,8 +121,11 @@ pub struct TcpStack {
     /// registration is dense and sequential, so this is a direct lookup
     /// on the per-call hot path instead of a hash).
     code: Vec<RegionId>,
-    irq_funcs: HashMap<IrqVector, FuncId>,
-    conns: Vec<ConnState>,
+    /// IRQ-handler function per vector, indexed by `IrqVector::index()`
+    /// (vectors are small integers; a dense table turns the per-interrupt
+    /// lookup into an array load instead of a hash).
+    irq_funcs: Vec<Option<FuncId>>,
+    flows: FlowArena,
     locks: Vec<SpinLock>,
 }
 
@@ -216,22 +217,25 @@ impl TcpStack {
             mod_timer: reg(r, c, mem, "mod_timer", &config.mod_timer),
         };
 
-        let mut irq_funcs = HashMap::new();
+        let table = irq_vectors
+            .iter()
+            .map(|v| v.index())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut irq_funcs = vec![None; table];
         for &vector in irq_vectors {
             let id = reg(r, c, mem, &vector.handler_name(), &config.irq_top_half);
-            irq_funcs.insert(vector, id);
+            irq_funcs[vector.index()] = Some(id);
         }
 
-        let conns: Vec<ConnState> = conn_dma
+        let mut flows = FlowArena::with_capacity(conn_dma.len());
+        for (i, &dma) in conn_dma.iter().enumerate() {
+            flows.insert(ConnectionId::new(i as u32), mem, &config, dma, max_message);
+        }
+        let locks = flows
+            .ids
             .iter()
-            .enumerate()
-            .map(|(i, &dma)| {
-                ConnState::new(ConnectionId::new(i as u32), mem, &config, dma, max_message)
-            })
-            .collect();
-        let locks = conns
-            .iter()
-            .map(|c| SpinLock::new(format!("conn{}.sk_lock", c.id.index())))
+            .map(|id| SpinLock::new(format!("conn{}.sk_lock", id.index())))
             .collect();
 
         Ok(TcpStack {
@@ -240,7 +244,7 @@ impl TcpStack {
             ids,
             code,
             irq_funcs,
-            conns,
+            flows,
             locks,
         })
     }
@@ -260,7 +264,14 @@ impl TcpStack {
     /// Number of connections.
     #[must_use]
     pub fn connections(&self) -> usize {
-        self.conns.len()
+        self.flows.len()
+    }
+
+    /// Generation-checked arena slot of `conn` (panics if out of range
+    /// or if the slot was reused under a stale handle).
+    #[inline]
+    fn slot_of(&self, conn: ConnectionId) -> usize {
+        self.flows.slot(self.flows.handle(conn))
     }
 
     /// The memory regions of `conn`.
@@ -270,13 +281,13 @@ impl TcpStack {
     /// Panics if `conn` is out of range.
     #[must_use]
     pub fn regions(&self, conn: ConnectionId) -> ConnectionRegions {
-        self.conns[conn.index()].regions
+        self.flows.regions[self.slot_of(conn)]
     }
 
     /// The IRQ-handler function registered for `vector`, if any.
     #[must_use]
     pub fn irq_func(&self, vector: IrqVector) -> Option<FuncId> {
-        self.irq_funcs.get(&vector).copied()
+        self.irq_funcs.get(vector.index()).copied().flatten()
     }
 
     /// Bytes currently queued in `conn`'s socket receive queue.
@@ -286,7 +297,7 @@ impl TcpStack {
     /// Panics if `conn` is out of range.
     #[must_use]
     pub fn rx_available(&self, conn: ConnectionId) -> u64 {
-        self.conns[conn.index()].rx_queue_bytes
+        self.flows.rx_queue_bytes[self.slot_of(conn)]
     }
 
     /// TX segments in flight (queued to the NIC, not yet completed).
@@ -296,7 +307,7 @@ impl TcpStack {
     /// Panics if `conn` is out of range.
     #[must_use]
     pub fn tx_inflight(&self, conn: ConnectionId) -> u32 {
-        self.conns[conn.index()].tx_inflight
+        self.flows.tx_inflight[self.slot_of(conn)]
     }
 
     /// Segments the congestion window currently allows in flight for
@@ -307,7 +318,7 @@ impl TcpStack {
     /// Panics if `conn` is out of range.
     #[must_use]
     pub fn tx_window(&self, conn: ConnectionId) -> u32 {
-        self.conns[conn.index()].congestion.window()
+        self.flows.congestion[self.slot_of(conn)].window()
     }
 
     /// TX segments sent but not yet ACKed (what the congestion window
@@ -318,7 +329,7 @@ impl TcpStack {
     /// Panics if `conn` is out of range.
     #[must_use]
     pub fn tx_unacked(&self, conn: ConnectionId) -> u32 {
-        self.conns[conn.index()].tx_unacked
+        self.flows.tx_unacked[self.slot_of(conn)]
     }
 
     /// The congestion-control state of `conn` (read-only view).
@@ -328,7 +339,7 @@ impl TcpStack {
     /// Panics if `conn` is out of range.
     #[must_use]
     pub fn congestion(&self, conn: ConnectionId) -> crate::congestion::CongestionState {
-        self.conns[conn.index()].congestion
+        self.flows.congestion[self.slot_of(conn)]
     }
 
     /// Whether `conn` is established.
@@ -338,7 +349,7 @@ impl TcpStack {
     /// Panics if `conn` is out of range.
     #[must_use]
     pub fn is_established(&self, conn: ConnectionId) -> bool {
-        self.conns[conn.index()].established
+        self.flows.established[self.slot_of(conn)]
     }
 
     fn item(&self, cost: &FuncCost, func: FuncId, bytes: u64) -> WorkItem {
@@ -364,7 +375,7 @@ impl TcpStack {
         let acq = self.locks[conn].acquire(contended, ctx.rng);
         // The lock word lives in the socket structure; grabbing it is a
         // write (and the source of coherence ping-pong when contended).
-        let sock = self.conns[conn].regions.sock;
+        let sock = self.flows.regions[conn].sock;
         let touch_item = WorkItem::new(0)
             .code(self.code[self.ids.lock_section.index()], 128)
             .touch(DataTouch::write(sock, 0, 64));
@@ -404,13 +415,13 @@ impl TcpStack {
         bytes: u64,
         cross_cpu: bool,
     ) -> Vec<u32> {
-        let ci = conn.index();
+        let ci = self.slot_of(conn);
         let segments = wire::segments_for(bytes, self.config.mss);
         let episodes = (segments.len() as u32)
             .div_ceil(self.config.tx_wake_batch)
             .max(1);
 
-        let regions = self.conns[ci].regions;
+        let regions = self.flows.regions[ci];
         // Interface, once per wake-up episode.
         for ep in 0..episodes {
             let item = self
@@ -446,7 +457,7 @@ impl TcpStack {
             // control block (sequence state, window, congestion fields),
             // dirties the send-side half; walks the write queue (old skb
             // data, long cold).
-            let cursor = self.conns[ci].skb_data_cursor;
+            let cursor = self.flows.skb_data_cursor[ci];
             let walk = cursor.saturating_sub(8 * u64::from(self.config.mss));
             let item = self
                 .item(&self.config.tcp_sendmsg, self.ids.tcp_sendmsg, seg_bytes)
@@ -457,8 +468,8 @@ impl TcpStack {
             self.run(ctx, self.ids.tcp_sendmsg, item);
 
             // Buffer management: allocate the skb (rolling slab slot).
-            let meta_slot = self.conns[ci].meta_alloc_cursor % self.config.skb_meta_bytes;
-            self.conns[ci].meta_alloc_cursor += 256;
+            let meta_slot = self.flows.meta_alloc_cursor[ci] % self.config.skb_meta_bytes;
+            self.flows.meta_alloc_cursor[ci] += 256;
             let item = self
                 .item(&self.config.alloc_skb, self.ids.alloc_skb, seg_bytes)
                 .touch(DataTouch::write(regions.skb_meta, meta_slot, 256));
@@ -486,7 +497,7 @@ impl TcpStack {
                     seg_bytes,
                 ));
             self.run(ctx, self.ids.csum_copy_from_user, item);
-            self.conns[ci].skb_data_cursor = cursor + seg_bytes;
+            self.flows.skb_data_cursor[ci] = cursor + seg_bytes;
 
             // Socket buffer accounting.
             let item = self
@@ -510,9 +521,9 @@ impl TcpStack {
             app_offset += seg_bytes;
         }
 
-        self.conns[ci].tx_inflight += segments.len() as u32;
-        self.conns[ci].tx_unacked += segments.len() as u32;
-        self.conns[ci].tx_bytes_submitted += bytes;
+        self.flows.tx_inflight[ci] += segments.len() as u32;
+        self.flows.tx_unacked[ci] += segments.len() as u32;
+        self.flows.tx_bytes_submitted[ci] += bytes;
         segments
     }
 
@@ -530,7 +541,7 @@ impl TcpStack {
         ring_slot: u64,
         seg_bytes: u32,
     ) -> u64 {
-        let regions = self.conns[conn.index()].regions;
+        let regions = self.flows.regions[self.slot_of(conn)];
         let item = self
             .item(
                 &self.config.e1000_xmit,
@@ -562,8 +573,8 @@ impl TcpStack {
                 .touch(DataTouch::read(tx_ring, u64::from(i) * 16, 16));
             cycles += self.run(ctx, self.ids.e1000_clean_tx, item);
         }
-        let ci = conn.index();
-        self.conns[ci].tx_inflight = self.conns[ci].tx_inflight.saturating_sub(frames);
+        let ci = self.slot_of(conn);
+        self.flows.tx_inflight[ci] = self.flows.tx_inflight[ci].saturating_sub(frames);
         cycles
     }
 
@@ -580,8 +591,8 @@ impl TcpStack {
         acked_segments: u32,
         cross_cpu: bool,
     ) -> u64 {
-        let ci = conn.index();
-        let regions = self.conns[ci].regions;
+        let ci = self.slot_of(conn);
+        let regions = self.flows.regions[ci];
         let mut cycles = self.acquire_lock(ctx, ci, cross_cpu);
         // ACK processing reads the whole control block and dirties the
         // receive/ack half of it (snd_una, rtt estimators, cwnd, window)
@@ -594,8 +605,8 @@ impl TcpStack {
         cycles += self.run(ctx, self.ids.tcp_v4_rcv, item);
         for _ in 0..acked_segments {
             // Free the oldest allocated skb slot (slab slots cycle).
-            let slot = self.conns[ci].meta_free_cursor % self.config.skb_meta_bytes;
-            self.conns[ci].meta_free_cursor += 256;
+            let slot = self.flows.meta_free_cursor[ci] % self.config.skb_meta_bytes;
+            self.flows.meta_free_cursor[ci] += 256;
             let item = self
                 .item(
                     &self.config.kfree_skb,
@@ -609,8 +620,8 @@ impl TcpStack {
             .item(&self.config.mod_timer, self.ids.mod_timer, 0)
             .touch(DataTouch::write(regions.tcp_ctx, 1024, 64));
         cycles += self.run(ctx, self.ids.mod_timer, item);
-        self.conns[ci].congestion.on_ack(acked_segments);
-        self.conns[ci].tx_unacked = self.conns[ci].tx_unacked.saturating_sub(acked_segments);
+        self.flows.congestion[ci].on_ack(acked_segments);
+        self.flows.tx_unacked[ci] = self.flows.tx_unacked[ci].saturating_sub(acked_segments);
         cycles
     }
 
@@ -625,8 +636,8 @@ impl TcpStack {
     ///
     /// Panics if `conn` is out of range.
     pub fn connect(&mut self, ctx: &mut ExecCtx<'_>, conn: ConnectionId, cross_cpu: bool) -> u64 {
-        let ci = conn.index();
-        let regions = self.conns[ci].regions;
+        let ci = self.slot_of(conn);
+        let regions = self.flows.regions[ci];
         let mut cycles = 0;
         let item = self
             .item(&self.config.system_call, self.ids.system_call, 0)
@@ -647,8 +658,8 @@ impl TcpStack {
             .item(&self.config.mod_timer, self.ids.mod_timer, 0)
             .touch(DataTouch::write(regions.tcp_ctx, 1024, 64));
         cycles += self.run(ctx, self.ids.mod_timer, item);
-        self.conns[ci].established = true;
-        self.conns[ci].congestion =
+        self.flows.established[ci] = true;
+        self.flows.congestion[ci] =
             crate::congestion::CongestionState::new(self.config.initial_cwnd, self.config.max_cwnd);
         cycles
     }
@@ -660,8 +671,8 @@ impl TcpStack {
     ///
     /// Panics if `conn` is out of range.
     pub fn close(&mut self, ctx: &mut ExecCtx<'_>, conn: ConnectionId, cross_cpu: bool) -> u64 {
-        let ci = conn.index();
-        let regions = self.conns[ci].regions;
+        let ci = self.slot_of(conn);
+        let regions = self.flows.regions[ci];
         let mut cycles = self.acquire_lock(ctx, ci, cross_cpu);
         let item = self
             .item(&self.config.tcp_close, self.ids.tcp_close, 0)
@@ -672,7 +683,7 @@ impl TcpStack {
             .item(&self.config.tcp_transmit_skb, self.ids.tcp_transmit_skb, 0)
             .touch(DataTouch::read(regions.tcp_ctx, 0, 256));
         cycles += self.run(ctx, self.ids.tcp_transmit_skb, item);
-        self.conns[ci].established = false;
+        self.flows.established[ci] = false;
         cycles
     }
 
@@ -690,9 +701,9 @@ impl TcpStack {
         seg_bytes: u32,
         cross_cpu: bool,
     ) -> u64 {
-        let ci = conn.index();
-        let regions = self.conns[ci].regions;
-        self.conns[ci].congestion.on_timeout();
+        let ci = self.slot_of(conn);
+        let regions = self.flows.regions[ci];
+        self.flows.congestion[ci].on_timeout();
         let mut cycles = self.acquire_lock(ctx, ci, cross_cpu);
         let item = self
             .item(
@@ -704,7 +715,7 @@ impl TcpStack {
             .touch(DataTouch::write(regions.tcp_ctx, 512, 256))
             .touch(DataTouch::read(
                 regions.skb_data,
-                self.conns[ci].skb_data_cursor,
+                self.flows.skb_data_cursor[ci],
                 u64::from(seg_bytes),
             ));
         cycles += self.run(ctx, self.ids.tcp_retransmit, item);
@@ -722,7 +733,7 @@ impl TcpStack {
     ///
     /// Panics if `vector` was not registered at construction.
     pub fn irq_top_half(&mut self, ctx: &mut ExecCtx<'_>, vector: IrqVector) -> u64 {
-        let func = self.irq_funcs[&vector];
+        let func = self.irq_funcs[vector.index()].expect("vector registered at construction");
         let item = self.item(&self.config.irq_top_half, func, 0);
         self.run(ctx, func, item)
     }
@@ -741,17 +752,17 @@ impl TcpStack {
         rx_ring: RegionId,
         cross_cpu: bool,
     ) -> RxBatchOutcome {
-        let ci = conn.index();
-        let regions = self.conns[ci].regions;
-        let was_empty = self.conns[ci].rx_queue_bytes == 0;
+        let ci = self.slot_of(conn);
+        let regions = self.flows.regions[ci];
+        let was_empty = self.flows.rx_queue_bytes[ci] == 0;
         let mut outcome = RxBatchOutcome::default();
 
         for (i, &frame_bytes) in frames.iter().enumerate() {
             let fb = u64::from(frame_bytes);
             // Driver: reclaim the (DMA-written, hence uncached) descriptor
             // and set up the skb around it (rolling slab slot).
-            let meta_slot = self.conns[ci].meta_alloc_cursor % self.config.skb_meta_bytes;
-            self.conns[ci].meta_alloc_cursor += 256;
+            let meta_slot = self.flows.meta_alloc_cursor[ci] % self.config.skb_meta_bytes;
+            self.flows.meta_alloc_cursor[ci] += 256;
             let item = self
                 .item(&self.config.e1000_clean_rx, self.ids.e1000_clean_rx, fb)
                 .touch(DataTouch::read(rx_ring, (i as u64) * 16, 16))
@@ -793,15 +804,15 @@ impl TcpStack {
                 .touch(DataTouch::write(regions.sock, 512, 128));
             outcome.cycles += self.run(ctx, self.ids.skb_queue, item);
 
-            let dma_off = self.conns[ci].rx_dma_cursor;
-            self.conns[ci].rx_dma_cursor = dma_off + fb;
-            self.conns[ci].rx_queue.push_back((frame_bytes, dma_off));
-            self.conns[ci].rx_queue_bytes += fb;
+            let dma_off = self.flows.rx_dma_cursor[ci];
+            self.flows.rx_dma_cursor[ci] = dma_off + fb;
+            self.flows.rx_queue[ci].push_back((frame_bytes, dma_off));
+            self.flows.rx_queue_bytes[ci] += fb;
 
             // Delayed ACK.
-            self.conns[ci].frames_since_ack += 1;
-            if self.conns[ci].frames_since_ack >= self.config.ack_every {
-                self.conns[ci].frames_since_ack = 0;
+            self.flows.frames_since_ack[ci] += 1;
+            if self.flows.frames_since_ack[ci] >= self.config.ack_every {
+                self.flows.frames_since_ack[ci] = 0;
                 let item = self
                     .item(
                         &self.config.tcp_select_window,
@@ -848,8 +859,8 @@ impl TcpStack {
         max_bytes: u64,
         cross_cpu: bool,
     ) -> u64 {
-        let ci = conn.index();
-        let regions = self.conns[ci].regions;
+        let ci = self.slot_of(conn);
+        let regions = self.flows.regions[ci];
 
         let item = self
             .item(&self.config.system_call, self.ids.system_call, 0)
@@ -864,11 +875,11 @@ impl TcpStack {
         let mut copied = 0u64;
         let mut app_offset = 0u64;
         while copied < max_bytes {
-            let Some((frame_bytes, dma_off)) = self.conns[ci].rx_queue.pop_front() else {
+            let Some((frame_bytes, dma_off)) = self.flows.rx_queue[ci].pop_front() else {
                 break;
             };
             let fb = u64::from(frame_bytes);
-            self.conns[ci].rx_queue_bytes -= fb;
+            self.flows.rx_queue_bytes[ci] -= fb;
 
             // The copy reads the DMA'd (uncached) payload and writes the
             // application buffer.
@@ -878,8 +889,8 @@ impl TcpStack {
                 .touch(DataTouch::write(regions.rx_app_buf, app_offset, fb));
             self.run(ctx, self.ids.copy_to_user, item);
 
-            let meta_slot = self.conns[ci].meta_free_cursor % self.config.skb_meta_bytes;
-            self.conns[ci].meta_free_cursor += 256;
+            let meta_slot = self.flows.meta_free_cursor[ci] % self.config.skb_meta_bytes;
+            self.flows.meta_free_cursor[ci] += 256;
             let item = self
                 .item(&self.config.kfree_skb, self.ids.kfree_skb, fb)
                 .touch(DataTouch::write(regions.skb_meta, meta_slot, 128));
@@ -908,7 +919,7 @@ impl TcpStack {
             .touch(DataTouch::write(regions.tcp_ctx, 1088, 64));
         self.run(ctx, self.ids.mod_timer, item);
 
-        self.conns[ci].rx_bytes_delivered += copied;
+        self.flows.rx_bytes_delivered[ci] += copied;
         copied
     }
 
@@ -989,6 +1000,7 @@ mod tests {
         let mut h = harness();
         let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack.sendmsg(&mut ctx, CONN, 65536, false);
+        drop(ctx); // flush profiler scratch before reading totals
         let reg = h.stack.registry();
         for bin in [
             "Interface",
@@ -1011,6 +1023,7 @@ mod tests {
         let mut h = harness();
         let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack.sendmsg(&mut ctx, CONN, 65536, false);
+        drop(ctx);
         let reg = h.stack.registry();
         let copies = h.prof.group_total(reg, "Copies").cycles;
         let interface = h.prof.group_total(reg, "Interface").cycles;
@@ -1033,6 +1046,7 @@ mod tests {
         for _ in 0..200 {
             h.stack.sendmsg(&mut ctx, CONN, 128, false);
         }
+        drop(ctx);
         let reg = h.stack.registry();
         let copies = h.prof.group_total(reg, "Copies").cycles;
         let interface = h.prof.group_total(reg, "Interface").cycles;
@@ -1054,6 +1068,7 @@ mod tests {
         assert_eq!(out.acks_sent, 2); // delayed ack: one per two frames
         assert_eq!(h.stack.rx_available(CONN), 4 * 1448);
 
+        drop(ctx);
         let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let got = h.stack.recvmsg(&mut ctx, CONN, 65536, false);
         assert_eq!(got, 4 * 1448);
@@ -1076,6 +1091,7 @@ mod tests {
             .stack
             .rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
         assert!(first.wake_consumer);
+        drop(ctx);
         let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let second = h
             .stack
@@ -1090,12 +1106,14 @@ mod tests {
         let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack
             .rx_bottom_half(&mut ctx, CONN, &[1448, 1448], rx_ring, false);
+        drop(ctx);
         let big_timers = h.prof.group_total(h.stack.registry(), "Timers").cycles;
         let mut h2 = harness();
         let rx_ring2 = h2.rx_ring;
         let mut ctx = ExecCtx::new(&mut h2.core, &mut h2.mem, &mut h2.prof, &mut h2.rng);
         h2.stack
             .rx_bottom_half(&mut ctx, CONN, &[128, 128], rx_ring2, false);
+        drop(ctx);
         let small_timers = h2.prof.group_total(h2.stack.registry(), "Timers").cycles;
         assert!(
             big_timers > small_timers * 4,
@@ -1116,6 +1134,7 @@ mod tests {
             ctx.mem.dma_write(dma, round * 1448, 1448);
             h.stack
                 .rx_bottom_half(&mut ctx, CONN, &[1448], rx_ring, false);
+            drop(ctx);
             let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
             h.stack.recvmsg(&mut ctx, CONN, 65536, false);
         }
@@ -1135,13 +1154,16 @@ mod tests {
         let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         let segs = h.stack.sendmsg(&mut ctx, CONN, 8192, false);
         assert_eq!(h.stack.tx_inflight(CONN), segs.len() as u32);
+        drop(ctx);
         let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         for (i, &s) in segs.iter().enumerate() {
             h.stack.driver_tx(&mut ctx, CONN, tx_ring, i as u64, s);
         }
+        drop(ctx);
         let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack
             .tx_complete(&mut ctx, CONN, tx_ring, segs.len() as u32);
+        drop(ctx);
         assert_eq!(h.stack.tx_inflight(CONN), 0);
         let driver = h.prof.group_total(h.stack.registry(), "Driver").cycles;
         assert!(driver > 0);
@@ -1152,6 +1174,7 @@ mod tests {
         let mut h = harness();
         let mut ctx = ExecCtx::new(&mut h.core, &mut h.mem, &mut h.prof, &mut h.rng);
         h.stack.irq_top_half(&mut ctx, IrqVector::new(0x19));
+        drop(ctx);
         let func = h.stack.irq_func(IrqVector::new(0x19)).unwrap();
         assert_eq!(h.stack.registry().name(func), "IRQ0x19_interrupt");
         assert!(h.prof.func_total(func).cycles > 0);
@@ -1172,6 +1195,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut ctx = ExecCtx::new(&mut core, &mut mem, &mut prof, &mut rng);
         stack.sendmsg(&mut ctx, CONN, 1448, true);
+        drop(ctx);
         let contended_locks = prof.group_total(stack.registry(), "Locks");
         assert!(stack.lock_stats(CONN).contended > 0);
         assert!(
@@ -1201,6 +1225,7 @@ mod tests {
         assert!(h.stack.is_established(CONN));
         // Slow start restarts from the initial window.
         assert_eq!(h.stack.tx_window(CONN), h.stack.config().initial_cwnd);
+        drop(ctx);
         let f = h.stack.registry().lookup("tcp_v4_connect").unwrap();
         assert!(h.prof.func_total(f).cycles > 0);
         assert_eq!(h.stack.registry().group(f), "Engine");
@@ -1223,6 +1248,7 @@ mod tests {
         let cycles = h.stack.close(&mut ctx, CONN, false);
         assert!(cycles > 0);
         assert!(!h.stack.is_established(CONN));
+        drop(ctx);
         let f = h.stack.registry().lookup("tcp_close").unwrap();
         assert!(h.prof.func_total(f).cycles > 0);
     }
@@ -1238,6 +1264,7 @@ mod tests {
         assert!(cycles > 0);
         assert!(h.stack.tx_window(CONN) < before);
         assert_eq!(h.stack.congestion(CONN).loss_events().0, 1);
+        drop(ctx);
         let f = h.stack.registry().lookup("tcp_retransmit_skb").unwrap();
         assert!(h.prof.func_total(f).machine_clears == 0);
         assert!(h.prof.func_total(f).cycles > 0);
