@@ -5,7 +5,7 @@ use sim_core::Result;
 use sim_cpu::CpuConfig;
 use sim_mem::MemoryConfig;
 use sim_net::NicConfig;
-use sim_prof::{FunctionRegistry, Profiler, SteerCounters};
+use sim_prof::{FunctionRegistry, PollCounters, Profiler, SteerCounters};
 use sim_tcp::StackConfig;
 
 use crate::machine::Machine;
@@ -98,6 +98,48 @@ impl Default for Tunables {
     }
 }
 
+/// Which dataplane services the NICs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataplaneMode {
+    /// The paper's interrupt-driven host stack: coalesced IRQs, top/
+    /// bottom halves, scheduler wakeups, cross-CPU IPIs. The default —
+    /// every pre-existing experiment runs bit-identically.
+    #[default]
+    Interrupt,
+    /// DPDK-style kernel bypass: every CPU is a busy-polling PMD core
+    /// that owns the NIC queues its steering `vector_home` maps to it and
+    /// runs rx burst → protocol → app to completion, core-locally. No
+    /// IRQ, no IPI, no softirq, no scheduler — and no HLT: idle cores
+    /// spin, and that burn is charged as busy cycles.
+    Poll,
+}
+
+/// Poll-dataplane knobs (ignored under [`DataplaneMode::Interrupt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataplaneConfig {
+    /// Interrupt-driven or busy-poll.
+    pub mode: DataplaneMode,
+    /// Max descriptors drained from one queue per poll iteration.
+    pub burst: u32,
+    /// Cycles one empty poll iteration burns (ring probe + pause loop).
+    pub empty_poll_cycles: u64,
+    /// SPSC descriptor-ring capacity per queue; 0 auto-sizes to the
+    /// per-queue in-flight bound (flows × windows) so the sizing
+    /// invariant — the dataplane never drops — holds by construction.
+    pub ring_entries: u32,
+}
+
+impl Default for DataplaneConfig {
+    fn default() -> Self {
+        DataplaneConfig {
+            mode: DataplaneMode::Interrupt,
+            burst: 32,
+            empty_poll_cycles: 120,
+            ring_entries: 0,
+        }
+    }
+}
+
 /// Full description of one experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -132,6 +174,10 @@ pub struct ExperimentConfig {
     /// `Some` overrides the mode entirely (e.g.
     /// [`SteerSpec::flow_director`]).
     pub steer: Option<SteerSpec>,
+    /// Dataplane selection and poll-mode knobs. The default
+    /// ([`DataplaneMode::Interrupt`]) leaves every interrupt-path
+    /// experiment untouched.
+    pub dataplane: DataplaneConfig,
 }
 
 impl ExperimentConfig {
@@ -151,6 +197,7 @@ impl ExperimentConfig {
             nic: NicConfig::default(),
             tunables: Tunables::default(),
             steer: None,
+            dataplane: DataplaneConfig::default(),
         }
     }
 
@@ -217,6 +264,29 @@ impl ExperimentConfig {
         config
     }
 
+    /// A kernel-bypass SUT for the interrupt-vs-poll sweep: the same
+    /// multi-queue geometry as [`ExperimentConfig::steer_sweep`] (one NIC
+    /// port per four CPUs, four MSI-X queues each), but with every CPU
+    /// running as a busy-polling PMD core. Flows are RSS-hashed across
+    /// queues and queues spread evenly across cores, so the comparison
+    /// against the interrupt-mode RSS cell is geometry-for-geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is outside `1..=64` or `flows` is zero.
+    #[must_use]
+    pub fn poll_sweep(direction: Direction, cpus: usize, flows: usize) -> Self {
+        let spec = SteerSpec {
+            placement: crate::steer::FlowPlacement::RssHash,
+            vectors: crate::steer::VectorLayout::SplitEven,
+            dynamic: crate::steer::DynamicSteer::Off,
+            pin_processes: false,
+        };
+        let mut config = ExperimentConfig::steer_sweep(direction, cpus, flows, spec);
+        config.dataplane.mode = DataplaneMode::Poll;
+        config
+    }
+
     /// Shrinks the workload for fast tests.
     #[must_use]
     pub fn quick(mut self) -> Self {
@@ -250,6 +320,12 @@ pub struct RunResult {
     /// Steering counters from the measurement window (all zero under
     /// the paper's static modes).
     pub steer: SteerCounters,
+    /// Busy-poll counters aggregated over all PMD cores (all zero under
+    /// [`DataplaneMode::Interrupt`]).
+    pub poll: PollCounters,
+    /// Busy-poll counters per CPU (empty under
+    /// [`DataplaneMode::Interrupt`]).
+    pub poll_per_cpu: Vec<PollCounters>,
 }
 
 /// Builds the machine, runs the workload to completion and returns the
@@ -280,6 +356,8 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<RunResult> {
         registry: machine.registry().clone(),
         vectors: machine.vectors().to_vec(),
         steer: machine.steer_stats(),
+        poll: machine.poll_stats(),
+        poll_per_cpu: machine.poll_stats_per_cpu(),
     })
 }
 
@@ -418,6 +496,83 @@ mod tests {
         // The director chases free-running consumers: some re-steering
         // must have happened on a 4-CPU box with 12 unpinned flows.
         assert!(r.steer.resteers > 0, "{:?}", r.steer);
+    }
+
+    #[test]
+    fn poll_sweep_builds_poll_mode_suts() {
+        let c = ExperimentConfig::poll_sweep(Direction::Rx, 16, 64);
+        assert_eq!(c.dataplane.mode, DataplaneMode::Poll);
+        assert_eq!(c.cpus, 16);
+        assert_eq!(c.nics, 4);
+        assert_eq!(c.nic.queues, 4);
+        // The default config stays on the interrupt plane.
+        let paper = ExperimentConfig::paper_sut(Direction::Rx, 4096, AffinityMode::Irq);
+        assert_eq!(paper.dataplane.mode, DataplaneMode::Interrupt);
+    }
+
+    #[test]
+    fn poll_rx_runs_with_no_interrupts_clears_or_ipis() {
+        let mut config = ExperimentConfig::poll_sweep(Direction::Rx, 4, 12);
+        config.workload.warmup_messages = 2;
+        config.workload.measure_messages = 3;
+        let r = run_experiment(&config).unwrap();
+        assert_eq!(r.metrics.messages, 3 * 12);
+        assert!(r.metrics.throughput_gbps() > 0.0);
+        // The whole point of kernel bypass: zero interrupts, zero
+        // machine clears, zero IPIs, zero scheduler traffic.
+        assert_eq!(r.metrics.interrupts, 0);
+        assert_eq!(
+            r.metrics.clears_by_reason.iter().sum::<u64>(),
+            0,
+            "{:?}",
+            r.metrics.clears_by_reason
+        );
+        assert_eq!(r.metrics.resched_ipis, 0);
+        assert_eq!(r.metrics.wake_migrations, 0);
+        // Poll accounting is live and spin was charged somewhere.
+        assert!(r.poll.polls > 0, "{:?}", r.poll);
+        assert!(r.poll.rx_frames > 0);
+        assert_eq!(r.poll_per_cpu.len(), 4);
+    }
+
+    #[test]
+    fn poll_tx_runs_and_prices_burned_cores() {
+        let mut config = ExperimentConfig::poll_sweep(Direction::Tx, 4, 12);
+        config.workload.warmup_messages = 2;
+        config.workload.measure_messages = 3;
+        let r = run_experiment(&config).unwrap();
+        assert_eq!(r.metrics.messages, 3 * 12);
+        assert_eq!(r.metrics.interrupts, 0);
+        assert!(r.poll.tx_frames > 0, "{:?}", r.poll);
+        // Every PMD core is busy for the whole measurement window: spin
+        // fills whatever work leaves idle, so per-core busy ≈ wall.
+        let wall = r.metrics.wall_cycles;
+        for (c, &busy) in r.metrics.busy_cycles.iter().enumerate() {
+            assert!(
+                busy >= wall * 9 / 10,
+                "PMD core {c} busy {busy} not ≈ wall {wall}"
+            );
+        }
+    }
+
+    #[test]
+    fn poll_runs_are_deterministic() {
+        let mut config = ExperimentConfig::poll_sweep(Direction::Rx, 4, 12);
+        config.workload.warmup_messages = 2;
+        config.workload.measure_messages = 3;
+        let a = run_experiment(&config).unwrap();
+        let b = run_experiment(&config).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.poll, b.poll);
+        assert_eq!(a.poll_per_cpu, b.poll_per_cpu);
+    }
+
+    #[test]
+    fn interrupt_runs_report_zero_poll_counters() {
+        let config = ExperimentConfig::paper_sut(Direction::Rx, 4096, AffinityMode::Irq).quick();
+        let r = run_experiment(&config).unwrap();
+        assert_eq!(r.poll, PollCounters::default());
+        assert!(r.poll_per_cpu.is_empty());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   steady-state measurement harness;
 //! * [`RunMetrics`] — throughput, utilization, GHz/Gbps cost, per-bin and
 //!   per-function event counters;
+//! * [`DataplaneMode`] — interrupt-driven host stack vs DPDK-style
+//!   kernel bypass (busy-polling PMD cores over lockless SPSC rings,
+//!   run-to-completion, idle burn charged honestly);
 //! * [`analysis`] — Amdahl-style improvement decomposition (Table 3),
 //!   performance-impact indicators (Figure 5), Spearman rank correlation
 //!   (Table 5);
@@ -45,12 +48,13 @@ mod experiment;
 mod machine;
 mod metrics;
 mod mode;
+mod poll;
 mod ready;
 pub mod report;
 pub mod steer;
 mod workload;
 
-pub use experiment::{run_experiment, ExperimentConfig, RunResult};
+pub use experiment::{run_experiment, DataplaneConfig, DataplaneMode, ExperimentConfig, RunResult};
 pub use machine::{should_trace, Machine};
 pub use metrics::{BinBreakdown, RunMetrics};
 pub use mode::AffinityMode;

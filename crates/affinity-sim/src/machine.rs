@@ -24,12 +24,13 @@ use sim_core::{
 use sim_cpu::{ClearReason, Core, PerfCounters};
 use sim_mem::MemorySystem;
 use sim_net::{Nic, Peer, PeerConfig};
-use sim_os::{CpuMask, IoApic, IpiFabric, IpiKind, Scheduler, SchedulerConfig};
-use sim_prof::{FuncId, Profiler, SteerCounters};
+use sim_os::{CpuMask, IoApic, IpiFabric, IpiKind, PmdCore, Scheduler, SchedulerConfig};
+use sim_prof::{FuncId, PollCounters, Profiler, SteerCounters};
 use sim_tcp::{Bin, ExecCtx, TcpStack};
 
-use crate::experiment::ExperimentConfig;
+use crate::experiment::{DataplaneMode, ExperimentConfig};
 use crate::metrics::{BinBreakdown, RunMetrics};
+use crate::poll::{PollPlane, RxDesc, TxDesc};
 use crate::ready::ReadyCpus;
 use crate::steer::{even_home, SteeringPolicy};
 use crate::workload::Direction;
@@ -115,6 +116,12 @@ pub struct Machine {
     /// `AffinityMode` dispatch survives in the run loop.
     steering: Box<dyn SteeringPolicy>,
     steer_stats: SteerCounters,
+
+    /// The kernel-bypass dataplane — `Some` only under
+    /// [`DataplaneMode::Poll`], where the run loop below is replaced by
+    /// [`Machine::run_poll`] and none of the interrupt/scheduler
+    /// machinery ever fires.
+    poll: Option<PollPlane>,
 
     tasks: Vec<TaskRun>,
     task_of_conn: Vec<usize>,
@@ -296,6 +303,25 @@ impl Machine {
             .lookup("__wake_up")
             .expect("stack registers __wake_up");
 
+        // Kernel bypass: queue ownership follows the same `vector_home`
+        // the APIC was just programmed with, so poll and interrupt cells
+        // of a sweep are geometry-for-geometry comparable.
+        let poll = if config.dataplane.mode == DataplaneMode::Poll {
+            let homes: Vec<usize> = (0..total_queues)
+                .map(|q| steering.vector_home(q, total_queues, cpus).index())
+                .collect();
+            Some(PollPlane::new(
+                cpus,
+                &homes,
+                &queue_flows,
+                &config.dataplane,
+                config.tunables.peer_window,
+                config.tunables.send_buf_segments,
+            ))
+        } else {
+            None
+        };
+
         Ok(Machine {
             mem,
             cores,
@@ -316,6 +342,7 @@ impl Machine {
             ready: ReadyCpus::new(),
             steering,
             steer_stats: SteerCounters::default(),
+            poll,
             tasks,
             task_of_conn,
             last_task_on: vec![None; cpus],
@@ -409,6 +436,9 @@ impl Machine {
     /// events before the measurement target is reached) — that would be a
     /// bug in the machine model.
     pub fn run(&mut self) -> RunMetrics {
+        if self.poll.is_some() {
+            return self.run_poll();
+        }
         self.seed_initial_work();
         let mut guard: u64 = 0;
         let guard_limit = self.guard_limit();
@@ -483,6 +513,553 @@ impl Machine {
 
     fn measure_target(&self) -> u64 {
         u64::from(self.config.workload.measure_messages) * self.config.connections as u64
+    }
+
+    /// The kernel-bypass run loop: no scheduler, no interrupts, no IPIs.
+    /// Each CPU is a PMD core spinning on its queues' SPSC rings; the
+    /// loop interleaves device events (which push descriptors) with PMD
+    /// steps (which drain them and run protocol + app to completion) in
+    /// deterministic global time order. Idle gaps are charged as spin —
+    /// a poll core is 100% busy by construction — and at the end every
+    /// core is spun forward to the last message time so burned cores are
+    /// priced over the whole measurement window.
+    fn run_poll(&mut self) -> RunMetrics {
+        if self.config.workload.direction == Direction::Rx {
+            for ti in 0..self.tasks.len() {
+                self.tasks[ti].blocked = Some(BlockReason::RxData);
+            }
+            for f in 0..self.config.connections {
+                self.refill_peer_window(f, 0);
+            }
+        }
+        let mut guard: u64 = 0;
+        let guard_limit = self.guard_limit();
+        let trace = std::env::var_os("AFFSIM_TRACE").is_some();
+        while !self.done {
+            guard += 1;
+            assert!(
+                guard < guard_limit,
+                "poll run loop exceeded {guard_limit} iterations — machine wedged?"
+            );
+            if trace && should_trace(guard) {
+                eprintln!(
+                    "poll iter={guard} msgs={}/{} measuring={} clocks={:?} events={}",
+                    self.total_messages,
+                    self.measured_messages,
+                    self.measuring,
+                    self.clocks,
+                    self.events.len(),
+                );
+            }
+            match (self.poll_next_work(), self.events.peek_time()) {
+                (Some((wt, c)), Some(et)) => {
+                    if et.cycles() <= wt {
+                        self.process_poll_event();
+                    } else {
+                        self.step_pmd(c, wt);
+                    }
+                }
+                (Some((wt, c)), None) => self.step_pmd(c, wt),
+                (None, Some(_)) => self.process_poll_event(),
+                (None, None) => panic!(
+                    "poll dataplane deadlocked: no ring work and no events \
+                     ({}/{} messages measured)",
+                    self.measured_messages,
+                    self.measure_target()
+                ),
+            }
+        }
+        self.finish_poll_spin();
+        self.collect_metrics()
+    }
+
+    /// The earliest `(time, cpu)` at which any PMD core can do useful
+    /// work: drain a descriptor its device has enqueued, or (TX) push
+    /// more segments for a flow with send-window room. Ties break to the
+    /// lower CPU; events at the same time are processed first by the
+    /// caller (they only ever add work at that instant).
+    fn poll_next_work(&self) -> Option<(u64, usize)> {
+        let plane = self.poll.as_ref().expect("poll mode");
+        let mut best: Option<(u64, usize)> = None;
+        for c in 0..self.config.cpus {
+            let mut at = plane.next_rx_at(c);
+            if self.config.workload.direction == Direction::Tx
+                && plane.cores[c]
+                    .queues()
+                    .iter()
+                    .flat_map(|&q| self.queue_flows[q].iter())
+                    .any(|&f| self.poll_can_send(f))
+            {
+                at = Some(at.map_or(self.clocks[c], |t| t.min(self.clocks[c])));
+            }
+            if let Some(t) = at {
+                let ready = t.max(self.clocks[c]);
+                if best.is_none_or(|(bt, _)| ready < bt) {
+                    best = Some((ready, c));
+                }
+            }
+        }
+        best
+    }
+
+    /// The `step_tx` send gate, core-local: enough combined send-buffer
+    /// and congestion-window room to be worth a `sendmsg`.
+    fn poll_can_send(&self, flow: usize) -> bool {
+        let conn_id = ConnectionId::new(flow as u32);
+        let buf_free = self
+            .config
+            .tunables
+            .send_buf_segments
+            .saturating_sub(self.stack.tx_inflight(conn_id));
+        let cwnd_free = self
+            .stack
+            .tx_window(conn_id)
+            .saturating_sub(self.stack.tx_unacked(conn_id));
+        let low_water = 8.min(self.stack.tx_window(conn_id) / 2).max(1);
+        buf_free.min(cwnd_free) >= low_water
+    }
+
+    /// One poll iteration of core `c`, starting at `t0`: spin across the
+    /// idle gap, probe the owned rings, drain up to one burst per queue,
+    /// then run protocol and application work for each flow that had
+    /// descriptors — all on this core, with `cross == false` everywhere
+    /// (run-to-completion is the whole point).
+    fn step_pmd(&mut self, c: usize, t0: u64) {
+        if t0 > self.clocks[c] {
+            // The core spun empty from its clock to t0. When the gap
+            // straddles the measurement start (this core was idle when
+            // another core's message completion reset the counters),
+            // charge only the in-window part so busy never exceeds wall.
+            let from = if self.measuring {
+                self.clocks[c].max(self.measure_start).min(t0)
+            } else {
+                self.clocks[c]
+            };
+            let spin = t0 - from;
+            if spin > 0 {
+                let epc = self.poll.as_ref().expect("poll mode").pmd.empty_poll_cycles;
+                self.cores[c].charge_spin_cycles(spin);
+                let counters = &mut self.poll.as_mut().expect("poll mode").counters[c];
+                counters.empty_polls += PmdCore::empty_polls_for_gap(spin, epc);
+                counters.spin_cycles += spin;
+            }
+            self.clocks[c] = t0;
+        }
+        let (burst, epc, queues) = {
+            let plane = self.poll.as_ref().expect("poll mode");
+            (
+                plane.pmd.burst as usize,
+                plane.pmd.empty_poll_cycles,
+                plane.cores[c].queues().to_vec(),
+            )
+        };
+        // The iteration's ring probes cost one poll quantum whether or
+        // not they find anything.
+        self.cores[c].charge_plain_cycles(epc);
+        self.clocks[c] += epc;
+        let mut found_work = false;
+        for &q in &queues {
+            // Drain one rx burst. Everything enqueued is observable:
+            // events at or before t0 have already been processed.
+            let mut txdone: Vec<(usize, u32)> = Vec::new(); // (flow, count)
+            let mut acks: Vec<(usize, u32)> = Vec::new(); // (flow, segments)
+            let mut data: Vec<(usize, Vec<u32>)> = Vec::new(); // (flow, frames)
+            {
+                let plane = self.poll.as_mut().expect("poll mode");
+                for _ in 0..burst {
+                    let Some(desc) = plane.rx[q].pop() else { break };
+                    if desc.pins_buffer() {
+                        plane.pool[q].free();
+                    }
+                    match desc {
+                        RxDesc::TxDone { flow, .. } => {
+                            match txdone.iter_mut().find(|e| e.0 == flow) {
+                                Some(e) => e.1 += 1,
+                                None => txdone.push((flow, 1)),
+                            }
+                        }
+                        RxDesc::Ack { flow, acked, .. } => {
+                            match acks.iter_mut().find(|e| e.0 == flow) {
+                                Some(e) => e.1 += acked,
+                                None => acks.push((flow, acked)),
+                            }
+                        }
+                        RxDesc::Data { flow, bytes, .. } => {
+                            match data.iter_mut().find(|e| e.0 == flow) {
+                                Some(e) => e.1.push(bytes),
+                                None => data.push((flow, vec![bytes])),
+                            }
+                        }
+                    }
+                }
+            }
+            if !(txdone.is_empty() && acks.is_empty() && data.is_empty()) {
+                found_work = true;
+                self.poll_process_batch(c, q, &txdone, &acks, &data);
+                if self.done {
+                    return;
+                }
+            }
+        }
+        // TX: after completions opened window room (or on the very first
+        // iteration), push more segments for this core's flows.
+        if self.config.workload.direction == Direction::Tx {
+            for &q in &queues {
+                for i in 0..self.queue_flows[q].len() {
+                    let flow = self.queue_flows[q][i];
+                    if self.poll_can_send(flow) {
+                        found_work = true;
+                        self.poll_send(c, q, flow);
+                        if self.done {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        let counters = &mut self.poll.as_mut().expect("poll mode").counters[c];
+        if found_work {
+            counters.polls += 1;
+        } else {
+            counters.empty_polls += 1;
+            counters.spin_cycles += epc;
+        }
+    }
+
+    /// Protocol + application processing for one queue's drained burst,
+    /// in ascending-flow order like the NAPI bottom half — but with no
+    /// IPI to a remote process CPU and no scheduler wakeup: the consumer
+    /// runs inline, here.
+    fn poll_process_batch(
+        &mut self,
+        c: usize,
+        queue: usize,
+        txdone: &[(usize, u32)],
+        acks: &[(usize, u32)],
+        data: &[(usize, Vec<u32>)],
+    ) {
+        let cpu = CpuId::new(c as u32);
+        let nic = self.queue_nic[queue];
+        let local = self.queue_local[queue];
+        let mut flows: Vec<usize> = txdone
+            .iter()
+            .map(|e| e.0)
+            .chain(acks.iter().map(|e| e.0))
+            .chain(data.iter().map(|e| e.0))
+            .collect();
+        flows.sort_unstable();
+        flows.dedup();
+        for flow in flows {
+            let conn_id = ConnectionId::new(flow as u32);
+            let done = txdone.iter().find(|e| e.0 == flow).map_or(0, |e| e.1);
+            let acked = acks.iter().find(|e| e.0 == flow).map_or(0, |e| e.1);
+            let frames: &[u32] = data
+                .iter()
+                .find(|e| e.0 == flow)
+                .map_or(&[], |e| e.1.as_slice());
+            let before = self.cores[c].busy_cycles();
+            {
+                let mut ctx = ExecCtx::new(
+                    &mut self.cores[c],
+                    &mut self.mem,
+                    &mut self.prof,
+                    &mut self.rng,
+                );
+                if done > 0 {
+                    let tx_ring = self.nics[nic].tx_ring(local);
+                    self.stack.tx_complete(&mut ctx, conn_id, tx_ring, done);
+                }
+                if acked > 0 {
+                    self.stack.rx_ack(&mut ctx, conn_id, acked, false);
+                }
+                if !frames.is_empty() {
+                    let rx_ring = self.nics[nic].rx_ring(local);
+                    self.stack
+                        .rx_bottom_half(&mut ctx, conn_id, frames, rx_ring, false);
+                }
+            }
+            if !frames.is_empty() {
+                self.peer_inflight[flow] =
+                    self.peer_inflight[flow].saturating_sub(frames.len() as u32);
+            }
+            let delta = self.cores[c].busy_cycles() - before;
+            self.clocks[c] += delta;
+            let counters = &mut self.poll.as_mut().expect("poll mode").counters[c];
+            counters.work_cycles += delta;
+            counters.rx_frames += frames.len() as u64;
+            self.last_softirq_cpu[flow] = Some(cpu);
+            self.last_process_cpu[flow] = Some(cpu);
+            // Run to completion: the application consumes right here.
+            if self.config.workload.direction == Direction::Rx && !frames.is_empty() {
+                self.poll_consume_rx(c, flow);
+                if self.done {
+                    return;
+                }
+                let now = self.clocks[c];
+                self.refill_peer_window(flow, now);
+            }
+        }
+    }
+
+    /// Inline `recvmsg` loop for a poll-mode flow: drain the socket on
+    /// this core until it is empty (or the run completes), crediting
+    /// message completions as they happen.
+    fn poll_consume_rx(&mut self, c: usize, flow: usize) {
+        let ti = self.task_of_conn[flow];
+        let conn_id = ConnectionId::new(flow as u32);
+        let msg = self.config.workload.message_bytes;
+        loop {
+            if self.stack.rx_available(conn_id) == 0 {
+                return;
+            }
+            let want = self.tasks[ti].remaining;
+            let before = self.cores[c].busy_cycles();
+            let got = {
+                let mut ctx = ExecCtx::new(
+                    &mut self.cores[c],
+                    &mut self.mem,
+                    &mut self.prof,
+                    &mut self.rng,
+                );
+                self.stack.recvmsg(&mut ctx, conn_id, want, false)
+            };
+            let delta = self.cores[c].busy_cycles() - before;
+            self.clocks[c] += delta;
+            self.poll.as_mut().expect("poll mode").counters[c].work_cycles += delta;
+            if got == 0 {
+                return;
+            }
+            let now = self.clocks[c];
+            let mut got = got;
+            while got >= self.tasks[ti].remaining {
+                got -= self.tasks[ti].remaining;
+                self.tasks[ti].remaining = msg;
+                self.on_message_complete(now);
+                if self.done {
+                    return;
+                }
+            }
+            self.tasks[ti].remaining -= got;
+        }
+    }
+
+    /// Inline `sendmsg` for a poll-mode flow: one chunk per poll
+    /// iteration (mirroring `step_tx` granularity), with segments handed
+    /// to the queue's SPSC tx ring and the device draining that ring
+    /// straight onto the serialized wire.
+    fn poll_send(&mut self, c: usize, queue: usize, flow: usize) {
+        let ti = self.task_of_conn[flow];
+        let conn_id = ConnectionId::new(flow as u32);
+        let mss = u64::from(self.config.stack.mss);
+        let buf_free = self
+            .config
+            .tunables
+            .send_buf_segments
+            .saturating_sub(self.stack.tx_inflight(conn_id));
+        let cwnd_free = self
+            .stack
+            .tx_window(conn_id)
+            .saturating_sub(self.stack.tx_unacked(conn_id));
+        let free_segs = buf_free.min(cwnd_free);
+        let chunk_bytes = (u64::from(free_segs) * mss).min(self.tasks[ti].remaining);
+        if chunk_bytes == 0 {
+            return;
+        }
+        let before = self.cores[c].busy_cycles();
+        let segs = {
+            let mut ctx = ExecCtx::new(
+                &mut self.cores[c],
+                &mut self.mem,
+                &mut self.prof,
+                &mut self.rng,
+            );
+            let segs = self.stack.sendmsg(&mut ctx, conn_id, chunk_bytes, false);
+            let tx_ring = self.nics[self.queue_nic[queue]].tx_ring(self.queue_local[queue]);
+            for (i, &seg) in segs.iter().enumerate() {
+                self.stack
+                    .driver_tx(&mut ctx, conn_id, tx_ring, i as u64, seg);
+            }
+            segs
+        };
+        let delta = self.cores[c].busy_cycles() - before;
+        self.clocks[c] += delta;
+        {
+            let counters = &mut self.poll.as_mut().expect("poll mode").counters[c];
+            counters.work_cycles += delta;
+            counters.tx_frames += segs.len() as u64;
+        }
+        self.last_process_cpu[flow] = Some(CpuId::new(c as u32));
+        self.last_softirq_cpu[flow] = Some(CpuId::new(c as u32));
+
+        // Segments go through the SPSC tx ring to the device, which
+        // drains them immediately onto the wire, serialized per flow.
+        let now = self.clocks[c];
+        {
+            let plane = self.poll.as_mut().expect("poll mode");
+            for &seg in &segs {
+                plane.tx[queue]
+                    .push(TxDesc { flow, bytes: seg })
+                    .unwrap_or_else(|_| {
+                        panic!("poll tx ring overflow on queue {queue} — sizing invariant violated")
+                    });
+            }
+        }
+        let mut cursor = self.wire_cursor[flow].max(now);
+        loop {
+            let desc = {
+                let plane = self.poll.as_mut().expect("poll mode");
+                plane.tx[queue].pop()
+            };
+            let Some(TxDesc { flow, bytes }) = desc else {
+                break;
+            };
+            cursor += self.wire_time(bytes);
+            self.push_event(cursor, Event::WireTx { flow, bytes });
+        }
+        self.wire_cursor[flow] = cursor;
+
+        self.tasks[ti].remaining -= chunk_bytes;
+        if self.tasks[ti].remaining == 0 {
+            self.tasks[ti].remaining = self.config.workload.message_bytes;
+            self.on_message_complete(now);
+        }
+    }
+
+    /// Device-side event processing under the poll dataplane: arrivals
+    /// and completions DMA exactly like the interrupt path but push
+    /// descriptors onto SPSC rings instead of entering the coalescer —
+    /// no interrupt is ever asserted.
+    fn process_poll_event(&mut self) {
+        let Some((time, event)) = self.events.pop() else {
+            return;
+        };
+        let t = time.cycles();
+        match event {
+            Event::FrameArrival { flow, bytes } => {
+                let queue = self.flow_queue[flow];
+                self.nics[self.queue_nic[queue]].dma_rx_frame_polled(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    bytes,
+                );
+                let plane = self.poll.as_mut().expect("poll mode");
+                assert!(
+                    plane.pool[queue].try_alloc(),
+                    "poll mempool exhausted on queue {queue} — sizing invariant violated"
+                );
+                plane.rx[queue]
+                    .push(RxDesc::Data { flow, bytes, at: t })
+                    .unwrap_or_else(|_| {
+                        panic!("poll rx ring overflow on queue {queue} — sizing invariant violated")
+                    });
+            }
+            Event::AckArrival { flow, acked } => {
+                let queue = self.flow_queue[flow];
+                self.nics[self.queue_nic[queue]].dma_rx_frame_polled(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    66,
+                );
+                let plane = self.poll.as_mut().expect("poll mode");
+                assert!(
+                    plane.pool[queue].try_alloc(),
+                    "poll mempool exhausted on queue {queue} — sizing invariant violated"
+                );
+                plane.rx[queue]
+                    .push(RxDesc::Ack { flow, acked, at: t })
+                    .unwrap_or_else(|_| {
+                        panic!("poll rx ring overflow on queue {queue} — sizing invariant violated")
+                    });
+            }
+            Event::WireTx { flow, bytes } => {
+                let queue = self.flow_queue[flow];
+                let conn_id = ConnectionId::new(flow as u32);
+                let skb_data = self.stack.regions(conn_id).skb_data;
+                let off = self.tx_wire_offset[flow];
+                self.tx_wire_offset[flow] += u64::from(bytes);
+                self.nics[self.queue_nic[queue]].dma_tx_frame_polled(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    skb_data,
+                    off,
+                    bytes,
+                );
+                let plane = self.poll.as_mut().expect("poll mode");
+                plane.rx[queue]
+                    .push(RxDesc::TxDone { flow, at: t })
+                    .unwrap_or_else(|_| {
+                        panic!("poll rx ring overflow on queue {queue} — sizing invariant violated")
+                    });
+                if bytes > 0 && self.rng.chance(self.config.tunables.loss_rate) {
+                    self.push_event(
+                        t + self.config.tunables.rto_cycles,
+                        Event::RtoFire { flow, bytes },
+                    );
+                    return;
+                }
+                if self.peers[flow].on_data_segment().is_some() {
+                    let jitter = self
+                        .rng
+                        .exponential(self.config.tunables.rtt_cycles as f64 / 4.0)
+                        as u64;
+                    self.push_event(
+                        t + self.config.tunables.rtt_cycles + jitter,
+                        Event::AckArrival {
+                            flow,
+                            acked: self.config.stack.ack_every,
+                        },
+                    );
+                }
+            }
+            Event::RtoFire { flow, bytes } => {
+                // Retransmission runs on the flow's owning PMD core —
+                // run to completion, no timer softirq.
+                let queue = self.flow_queue[flow];
+                let c = self.poll.as_ref().expect("poll mode").cpu_of_queue[queue];
+                self.clocks[c] = self.clocks[c].max(t);
+                let conn_id = ConnectionId::new(flow as u32);
+                let before = self.cores[c].busy_cycles();
+                {
+                    let mut ctx = ExecCtx::new(
+                        &mut self.cores[c],
+                        &mut self.mem,
+                        &mut self.prof,
+                        &mut self.rng,
+                    );
+                    self.stack
+                        .retransmit_timeout(&mut ctx, conn_id, bytes, false);
+                }
+                let delta = self.cores[c].busy_cycles() - before;
+                self.clocks[c] += delta;
+                self.poll.as_mut().expect("poll mode").counters[c].work_cycles += delta;
+                let at = self.wire_cursor[flow].max(self.clocks[c]) + self.wire_time(bytes);
+                self.wire_cursor[flow] = at;
+                self.push_event(at, Event::WireTx { flow, bytes });
+            }
+            Event::CoalesceFlush { .. } | Event::IrqRotate | Event::LoadBalance => {
+                unreachable!("interrupt-plane event {event:?} scheduled under the poll dataplane")
+            }
+        }
+    }
+
+    /// After the run completes, spin every PMD core forward to the last
+    /// message time: a poll core is busy for the *entire* measurement
+    /// window whether or not traffic reached it, and the GHz/Gbps cost
+    /// metric must see that burn.
+    fn finish_poll_spin(&mut self) {
+        let end = self.last_message_time;
+        let epc = self.poll.as_ref().expect("poll mode").pmd.empty_poll_cycles;
+        for c in 0..self.config.cpus {
+            let from = self.clocks[c].max(self.measure_start);
+            if end > from {
+                let gap = end - from;
+                self.cores[c].charge_spin_cycles(gap);
+                let counters = &mut self.poll.as_mut().expect("poll mode").counters[c];
+                counters.empty_polls += PmdCore::empty_polls_for_gap(gap, epc);
+                counters.spin_cycles += gap;
+            }
+            self.clocks[c] = self.clocks[c].max(end);
+        }
     }
 
     fn seed_initial_work(&mut self) {
@@ -1182,6 +1759,9 @@ impl Machine {
         for nic in &mut self.nics {
             nic.reset_stats();
         }
+        if let Some(plane) = &mut self.poll {
+            plane.reset_counters();
+        }
     }
 
     fn collect_metrics(&self) -> RunMetrics {
@@ -1258,6 +1838,28 @@ impl Machine {
     #[must_use]
     pub fn flow_queues(&self) -> &[usize] {
         &self.flow_queue
+    }
+
+    /// Busy-poll counters aggregated over all PMD cores (measurement
+    /// window; all zero under the interrupt dataplane).
+    #[must_use]
+    pub fn poll_stats(&self) -> PollCounters {
+        let mut total = PollCounters::default();
+        if let Some(plane) = &self.poll {
+            for c in &plane.counters {
+                total.merge(c);
+            }
+        }
+        total
+    }
+
+    /// Busy-poll counters per CPU (empty under the interrupt dataplane).
+    #[must_use]
+    pub fn poll_stats_per_cpu(&self) -> Vec<PollCounters> {
+        self.poll
+            .as_ref()
+            .map(|plane| plane.counters.clone())
+            .unwrap_or_default()
     }
 
     /// Name of the active steering policy.

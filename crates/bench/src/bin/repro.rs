@@ -9,14 +9,20 @@
 //! repro perf --check   # compare against the latest BENCH row; exit 1 on >10% regression
 //! repro scale          # CPUs x flows x modes scaling sweep (incl. RSS)
 //! repro steer          # steering-policy sweep: RSS vs Flow Director
+//! repro poll           # interrupt-vs-poll sweep: IRQ stack vs PMD cores
 //! repro --quick perf   # smoke variants at tiny message counts (CI)
 //! ```
 //!
+//! `--check` works on every sweep subcommand (`perf`, `scale`, `steer`,
+//! `poll`): instead of appending a history row, the fresh wall time is
+//! gated against the newest matching row in `BENCH_substrate.json`.
+//!
 //! `--filter` narrows the sweep subcommands to matching cells — the
 //! spec is `mode/size/dir` for `perf`, `mode/cpus/flows` for `scale`,
-//! and `policy/coalesce/cpus` (e.g. `flowdir/adaptive/8`) for `steer`.
-//! A filter that matches no cells lists the valid tokens on stderr and
-//! exits 2, the same usage-error contract as a misspelled artifact.
+//! `policy/coalesce/cpus` (e.g. `flowdir/adaptive/8`) for `steer`, and
+//! `plane/policy/cpus` (e.g. `poll/pmd/8`) for `poll`. A filter that
+//! matches no cells lists the valid tokens on stderr and exits 2, the
+//! same usage-error contract as a misspelled artifact.
 //!
 //! The sweep cells run on a deterministic job pool; `REPRO_THREADS`
 //! overrides the worker count (results are identical at any setting).
@@ -32,7 +38,7 @@ use bench::{
 use sim_cpu::EventCosts;
 
 /// PR number stamped on history entries appended to `BENCH_substrate.json`.
-const CURRENT_PR: u32 = 6;
+const CURRENT_PR: u32 = 7;
 
 /// History file the sweep subcommands record into and `--check` reads.
 const HISTORY_PATH: &str = "BENCH_substrate.json";
@@ -45,9 +51,9 @@ const MATRIX_BENCHMARK: &str = "full figure matrix";
 const CHECK_SLACK: f64 = 1.10;
 
 /// Every artifact name `repro` understands, for validation and `--help`.
-const KNOWN_ARTIFACTS: [&str; 12] = [
+const KNOWN_ARTIFACTS: [&str; 13] = [
     "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "table5", "fourp", "perf",
-    "scale", "steer",
+    "scale", "steer", "poll",
 ];
 
 struct Args {
@@ -81,6 +87,62 @@ fn empty_filter_error(subcommand: &str, spec: &str, valid: &str) -> ! {
     eprintln!("repro {subcommand}: --filter {spec:?} matches no cells");
     eprintln!("  valid tokens: {valid}");
     std::process::exit(2);
+}
+
+/// Rejects `--check --filter`: the gate compares against rows recorded
+/// for the full sweep, so a filtered subset is never comparable.
+fn check_rejects_filter(subcommand: &str, filter: Option<&str>) {
+    if filter.is_some() {
+        eprintln!("repro {subcommand}: --check times the full sweep; drop --filter");
+        std::process::exit(2);
+    }
+}
+
+/// The wall-time regression gate shared by every sweep subcommand:
+/// compares a fresh run's wall seconds against the newest history row
+/// whose benchmark name starts with `benchmark_prefix` and exits 1 if
+/// the run is more than [`CHECK_SLACK`] over it. Quick runs time a
+/// different workload, so with `quick` the gate only verifies a
+/// comparison row exists (smoke mode) — and matches any worker count,
+/// while full runs only gate against rows recorded at the same count.
+fn check_gate(subcommand: &str, benchmark_prefix: &str, wall: f64, quick: bool, threads: usize) {
+    let row = latest_history_entry(
+        HISTORY_PATH,
+        benchmark_prefix,
+        if quick { None } else { Some(threads) },
+    );
+    let Some(row) = row else {
+        eprintln!(
+            "{subcommand} check FAILED: no \"{benchmark_prefix}\" row{} in {HISTORY_PATH} to compare against",
+            if quick {
+                String::new()
+            } else {
+                format!(" at threads={threads}")
+            }
+        );
+        std::process::exit(1);
+    };
+    if quick {
+        eprintln!(
+            "{subcommand} check: smoke mode — quick counts are not comparable to the recorded \
+             {:.2} s (PR {}); timing gate skipped",
+            row.wall_s, row.pr
+        );
+    } else {
+        let limit = row.wall_s * CHECK_SLACK;
+        if wall > limit {
+            eprintln!(
+                "{subcommand} check FAILED: {wall:.2} s vs recorded {:.2} s (PR {}, threads {}) \
+                 — over the {limit:.2} s limit",
+                row.wall_s, row.pr, row.threads
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "{subcommand} check OK: {wall:.2} s vs recorded {:.2} s (PR {}, limit {limit:.2} s)",
+            row.wall_s, row.pr
+        );
+    }
 }
 
 /// The `--filter` input token for a mode (inverse of [`parse_mode`]),
@@ -251,9 +313,8 @@ const PRE_PR_BASELINE_S: f64 = 13.5;
 /// it is more than 10% slower — the perf scoreboard as a gate.
 fn perf(quick: bool, check: bool, filter: Option<&str>) {
     const SEEDS: [u64; 2] = [0x5EED, 42];
-    if check && filter.is_some() {
-        eprintln!("repro perf: --check times the full matrix; drop --filter");
-        std::process::exit(2);
+    if check {
+        check_rejects_filter("perf", filter);
     }
     let mut jobs: Vec<(Direction, u64, AffinityMode, u64)> = Vec::new();
     for dir in [Direction::Tx, Direction::Rx] {
@@ -326,46 +387,8 @@ fn perf(quick: bool, check: bool, filter: Option<&str>) {
         rate = cells as f64 / wall,
     );
     if check {
-        // Quick runs time a different workload, so only gate a full run
-        // against rows recorded at the same worker count.
-        let row = latest_history_entry(
-            HISTORY_PATH,
-            MATRIX_BENCHMARK,
-            if quick { None } else { Some(threads) },
-        );
-        let Some(row) = row else {
-            eprintln!(
-                "perf check FAILED: no \"{MATRIX_BENCHMARK}\" row{} in {HISTORY_PATH} to compare against",
-                if quick {
-                    String::new()
-                } else {
-                    format!(" at threads={threads}")
-                }
-            );
-            std::process::exit(1);
-        };
         println!("{json}");
-        if quick {
-            eprintln!(
-                "perf check: smoke mode — quick counts are not comparable to the recorded \
-                 {:.2} s (PR {}); timing gate skipped",
-                row.wall_s, row.pr
-            );
-        } else {
-            let limit = row.wall_s * CHECK_SLACK;
-            if wall > limit {
-                eprintln!(
-                    "perf check FAILED: {wall:.2} s vs recorded {:.2} s (PR {}, threads {}) \
-                     — over the {limit:.2} s limit",
-                    row.wall_s, row.pr, row.threads
-                );
-                std::process::exit(1);
-            }
-            eprintln!(
-                "perf check OK: {wall:.2} s vs recorded {:.2} s (PR {}, limit {limit:.2} s)",
-                row.wall_s, row.pr
-            );
-        }
+        check_gate("perf", MATRIX_BENCHMARK, wall, quick, threads);
         return;
     }
     if quick {
@@ -383,7 +406,10 @@ fn perf(quick: bool, check: bool, filter: Option<&str>) {
 /// CPUs should add bandwidth, which is exactly the future the paper's
 /// conclusion sketches. Deterministic: the digest is independent of
 /// `REPRO_THREADS`.
-fn scale(quick: bool, filter: Option<&str>) {
+fn scale(quick: bool, check: bool, filter: Option<&str>) {
+    if check {
+        check_rejects_filter("scale", filter);
+    }
     const MODES: [AffinityMode; 4] = [
         AffinityMode::None,
         AffinityMode::Irq,
@@ -517,7 +543,9 @@ fn scale(quick: bool, filter: Option<&str>) {
         rate = cells as f64 / wall,
     );
 
-    if quick {
+    if check {
+        check_gate("scale", "scale sweep", wall, quick, threads);
+    } else if quick {
         eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
     } else {
         let json = format!(
@@ -541,7 +569,10 @@ fn scale(quick: bool, filter: Option<&str>) {
 /// Director chases the consumer and so completes some flows' frames on
 /// a different CPU than the previous batch — the reordering signature.
 /// Deterministic: the digest is independent of `REPRO_THREADS`.
-fn steer(quick: bool, filter: Option<&str>) {
+fn steer(quick: bool, check: bool, filter: Option<&str>) {
+    if check {
+        check_rejects_filter("steer", filter);
+    }
     let rss_static = SteerSpec {
         placement: FlowPlacement::RssHash,
         vectors: VectorLayout::SplitEven,
@@ -664,7 +695,9 @@ fn steer(quick: bool, filter: Option<&str>) {
         rate = cells as f64 / wall,
     );
 
-    if quick {
+    if check {
+        check_gate("steer", "steering sweep", wall, quick, threads);
+    } else if quick {
         eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
     } else if filter.is_some() {
         eprintln!("filtered run: not recorded in {HISTORY_PATH}");
@@ -672,6 +705,164 @@ fn steer(quick: bool, filter: Option<&str>) {
         let json = format!(
             "  {{\n    \"pr\": {CURRENT_PR},\n    \
              \"benchmark\": \"steering sweep ({n_cpus} CPU counts x 4 policies, Rx 4KB)\",\n    \
+             \"cells\": {cells},\n    \"threads\": {threads},\n    \
+             \"current_wall_s\": {wall:.2},\n    \
+             \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
+            n_cpus = cpu_grid.len(),
+            rate = cells as f64 / wall,
+        );
+        append_history(HISTORY_PATH, &json);
+    }
+}
+
+/// The interrupt-vs-poll sweep: the interrupt-driven host stack under
+/// three steering policies (every vector on CPU 0, static RSS hashing,
+/// Flow Director) against the kernel-bypass poll-mode dataplane, all on
+/// the same multi-queue geometry (one 4-queue NIC port per four CPUs,
+/// 4 flows per CPU, Rx 4KB). Poll mode takes zero interrupts — no
+/// vector dispatch, no IPIs, no interrupt-caused machine clears — and
+/// the table shows that win next to its price: PMD cores spin at 100%
+/// whether or not frames are arriving, the spin cycles are charged as
+/// busy time, and so the GHz/Gbps column prices the burned cores
+/// honestly (the spin% column shows how much of the busy time was
+/// empty polling). Deterministic: the digest is independent of
+/// `REPRO_THREADS`. With `--check` the wall time is gated against the
+/// latest recorded `poll sweep` row instead of appending a new one.
+fn poll(quick: bool, check: bool, filter: Option<&str>) {
+    if check {
+        check_rejects_filter("poll", filter);
+    }
+    let irq_cpu0 = SteerSpec {
+        placement: FlowPlacement::RoundRobin,
+        vectors: VectorLayout::AllCpu0,
+        dynamic: DynamicSteer::Off,
+        pin_processes: false,
+    };
+    let irq_rss = SteerSpec {
+        placement: FlowPlacement::RssHash,
+        vectors: VectorLayout::SplitEven,
+        dynamic: DynamicSteer::Off,
+        pin_processes: false,
+    };
+    // `None` marks the poll-mode cell (no interrupt steering to pick).
+    let variants: [(&str, Option<SteerSpec>); 4] = [
+        ("Irq/cpu0", Some(irq_cpu0)),
+        ("Irq/RSS", Some(irq_rss)),
+        ("Irq/FlowDir", Some(SteerSpec::flow_director())),
+        ("Poll/pmd", None),
+    ];
+    let cpu_grid: Vec<usize> = if quick { vec![4] } else { vec![4, 8, 16] };
+    let mut jobs: Vec<(usize, usize)> = Vec::new();
+    for &cpus in &cpu_grid {
+        for variant in 0..variants.len() {
+            jobs.push((cpus, variant));
+        }
+    }
+    if let Some(spec) = filter {
+        let parts: Vec<&str> = spec.split('/').collect();
+        if parts.len() != 3 {
+            usage_error(
+                "filter",
+                spec,
+                "<plane>/<policy>/<cpus> for poll, e.g. poll/pmd/8 or irq/rss/4",
+            );
+        }
+        // Variant names are "<plane>/<policy>" (e.g. "Poll/pmd").
+        let plane = format!("{}/{}", parts[0], parts[1]);
+        let cpus_want: usize = parts[2]
+            .parse()
+            .unwrap_or_else(|_| usage_error("filter cpus", parts[2], "a CPU count, e.g. 4, 8, 16"));
+        jobs.retain(|&(cpus, v)| cpus == cpus_want && variants[v].0.eq_ignore_ascii_case(&plane));
+        if jobs.is_empty() {
+            let cpus: Vec<String> = cpu_grid.iter().map(usize::to_string).collect();
+            let planes: Vec<&str> = variants.iter().map(|v| v.0).collect();
+            empty_filter_error(
+                "poll",
+                spec,
+                &format!("plane {}; cpus {}", planes.join(", "), cpus.join(", ")),
+            );
+        }
+    }
+    let cells = jobs.len();
+    let threads = pool_threads();
+    eprintln!(
+        "interrupt-vs-poll sweep: {cells} cells ({} CPU counts x {} dataplanes, Rx 4KB, 4 flows/CPU) on {threads} worker(s)...",
+        cpu_grid.len(),
+        variants.len(),
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_pool(jobs.clone(), threads, move |(cpus, variant)| {
+        let (_, spec) = variants[variant];
+        let mut config = match spec {
+            Some(spec) => ExperimentConfig::steer_sweep(Direction::Rx, cpus, 4 * cpus, spec),
+            None => ExperimentConfig::poll_sweep(Direction::Rx, cpus, 4 * cpus),
+        };
+        if !quick {
+            config.workload.warmup_messages = 8;
+            config.workload.measure_messages = 24;
+        }
+        let r = affinity_sim::run_experiment(&config).expect("valid poll config");
+        (
+            r.metrics.wall_cycles,
+            r.metrics.throughput_mbps(),
+            r.metrics.cost_ghz_per_gbps(),
+            r.metrics.interrupts,
+            r.poll,
+        )
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let digest = fnv_fold(results.iter().map(|&(cycles, ..)| cycles));
+
+    println!("interrupt-vs-poll sweep (Rx, 4KB messages, 4 flows/CPU, 4-queue NIC per 4 CPUs)");
+    println!(
+        "{:>5} {:>12} | {:>9} {:>9} {:>6} {:>6} {:>8} {:>12}",
+        "cpus", "dataplane", "BW (Mb/s)", "GHz/Gbps", "irqs", "spin%", "polls", "empty polls"
+    );
+    for (row, &(_, mbps, cost, irqs, counters)) in results.iter().enumerate() {
+        let (cpus, variant) = jobs[row];
+        println!(
+            "{cpus:>5} {:>12} | {mbps:>9.0} {cost:>9.2} {irqs:>6} {:>6.1} {:>8} {:>12}",
+            variants[variant].0,
+            100.0 * counters.spin_fraction(),
+            counters.polls,
+            counters.empty_polls,
+        );
+    }
+    // A filtered subset may not contain the variants the comparative
+    // summary needs, so it only renders for the full sweep.
+    if filter.is_none() {
+        let top_cpus = *cpu_grid.last().expect("non-empty cpu grid");
+        let at = |name: &str| {
+            jobs.iter()
+                .zip(&results)
+                .find(|((cpus, v), _)| *cpus == top_cpus && variants[*v].0 == name)
+                .map(|(_, &(_, mbps, cost, ..))| (mbps, cost))
+                .expect("variant present")
+        };
+        let (poll_bw, poll_cost) = at("Poll/pmd");
+        let (rss_bw, rss_cost) = at("Irq/RSS");
+        println!(
+            "\nat {top_cpus} cpus: Poll {poll_bw:.0} Mb/s vs Irq/RSS {rss_bw:.0} Mb/s \
+             ({gain:+.1}%), at {poll_cost:.2} vs {rss_cost:.2} GHz/Gbps — poll's spin \
+             cycles are priced as busy cores",
+            gain = 100.0 * (poll_bw / rss_bw - 1.0),
+        );
+    }
+    println!(
+        "{cells} cells in {wall:.2} s ({rate:.1} cells/sec), digest {digest:016x}",
+        rate = cells as f64 / wall,
+    );
+
+    if check {
+        check_gate("poll", "poll sweep", wall, quick, threads);
+    } else if quick {
+        eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
+    } else if filter.is_some() {
+        eprintln!("filtered run: not recorded in {HISTORY_PATH}");
+    } else {
+        let json = format!(
+            "  {{\n    \"pr\": {CURRENT_PR},\n    \
+             \"benchmark\": \"poll sweep ({n_cpus} CPU counts x 4 dataplanes, Rx 4KB)\",\n    \
              \"cells\": {cells},\n    \"threads\": {threads},\n    \
              \"current_wall_s\": {wall:.2},\n    \
              \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
@@ -697,17 +888,23 @@ fn main() {
         perf(quick, check, filter.as_deref());
         return;
     }
-    if check {
-        eprintln!("repro: --check only applies to `repro perf`");
-        std::process::exit(2);
-    }
     if wants("scale") {
-        scale(quick, filter.as_deref());
+        scale(quick, check, filter.as_deref());
         return;
     }
     if wants("steer") {
-        steer(quick, filter.as_deref());
+        steer(quick, check, filter.as_deref());
         return;
+    }
+    if wants("poll") {
+        poll(quick, check, filter.as_deref());
+        return;
+    }
+    if check {
+        eprintln!(
+            "repro: --check only applies to the sweep subcommands (perf, scale, steer, poll)"
+        );
+        std::process::exit(2);
     }
     if let Some(spec) = &filter {
         let (mode, size, direction) = parse_filter(spec);

@@ -18,6 +18,11 @@
 //!   flows across CPUs within one port;
 //! * [`wire`] — MTU segmentation arithmetic shared by the stack model
 //!   and the workload generator;
+//! * [`SpscRing`] / [`Mempool`] — the kernel-bypass dataplane's lockless
+//!   single-producer/single-consumer descriptor rings and packet-buffer
+//!   pool, consumed by busy-polling PMD cores instead of the interrupt
+//!   path ([`Nic::dma_rx_frame_polled`] DMAs a frame without touching
+//!   the coalescer or asserting a vector);
 //! * [`Peer`] — a stand-in for the client machines: it acks transmitted
 //!   data (delayed-ack style, one ACK per two segments) and sources bulk
 //!   data for receive tests, with deterministic jitter.
@@ -48,8 +53,10 @@
 pub mod coalesce;
 mod nic;
 mod peer;
+pub mod ring;
 pub mod wire;
 
 pub use coalesce::{AdaptiveTimeout, CoalesceConfig, CoalescePolicy, Coalescer, FixedCount};
 pub use nic::{Nic, NicConfig, NicStats};
 pub use peer::{Peer, PeerConfig};
+pub use ring::{Mempool, RingStats, SpscRing};

@@ -232,6 +232,54 @@ impl Nic {
         }
     }
 
+    /// A frame arrives on `queue` under a poll-mode dataplane: the DMA
+    /// writes are identical to [`Nic::dma_rx_frame`] (payload lands
+    /// uncached, the descriptor ring is touched), but the coalescer is
+    /// bypassed and no interrupt is ever asserted — a busy-polling PMD
+    /// core discovers the descriptor by probing the ring. Descriptor
+    /// occupancy is owned by the dataplane's [`crate::SpscRing`], not the
+    /// device, so nothing is dropped here.
+    pub fn dma_rx_frame_polled(&mut self, queue: usize, mem: &mut MemorySystem, bytes: u32) {
+        let entries = self.config.ring_entries;
+        let descriptor_bytes = self.config.descriptor_bytes;
+        let buf_size = self.config.rx_buffer_bytes / u64::from(entries);
+        let q = &mut self.queues[queue];
+        let slot = q.rx_head % entries;
+        q.rx_head = q.rx_head.wrapping_add(1);
+        mem.dma_write(q.rx_buffers, u64::from(slot) * buf_size, u64::from(bytes));
+        mem.dma_write(
+            q.rx_ring,
+            u64::from(slot) * u64::from(descriptor_bytes),
+            u64::from(descriptor_bytes),
+        );
+        self.stats.rx_frames += 1;
+    }
+
+    /// The device transmits a frame under a poll-mode dataplane: DMA-reads
+    /// the payload and writes back the completion descriptor, with no
+    /// coalescing and no interrupt (the PMD core polls for completions).
+    pub fn dma_tx_frame_polled(
+        &mut self,
+        queue: usize,
+        mem: &mut MemorySystem,
+        payload_region: RegionId,
+        payload_offset: u64,
+        bytes: u32,
+    ) {
+        let entries = self.config.ring_entries;
+        let descriptor_bytes = self.config.descriptor_bytes;
+        let q = &mut self.queues[queue];
+        let slot = q.tx_head % entries;
+        q.tx_head = q.tx_head.wrapping_add(1);
+        mem.dma_read(payload_region, payload_offset, u64::from(bytes));
+        mem.dma_write(
+            q.tx_ring,
+            u64::from(slot) * u64::from(descriptor_bytes),
+            u64::from(descriptor_bytes),
+        );
+        self.stats.tx_completions += 1;
+    }
+
     /// The driver consumed `frames` RX descriptors on `queue` (reclaim
     /// after the bottom half processed them).
     pub fn reclaim_rx(&mut self, queue: usize, frames: u32) {
@@ -462,6 +510,38 @@ mod tests {
         assert_eq!(nic.flush_timeout(0), Some(6_000));
         let fixed = setup().1;
         assert_eq!(fixed.flush_timeout(0), None);
+    }
+
+    #[test]
+    fn polled_dma_never_interrupts() {
+        let (mut mem, mut nic) = setup();
+        let payload = mem.add_region("app.buf", 65536);
+        for _ in 0..64 {
+            nic.dma_rx_frame_polled(0, &mut mem, 1500);
+        }
+        for i in 0..8 {
+            nic.dma_tx_frame_polled(0, &mut mem, payload, i * 1448, 1448);
+        }
+        assert_eq!(nic.stats().rx_frames, 64);
+        assert_eq!(nic.stats().tx_completions, 8);
+        assert_eq!(
+            nic.stats().interrupts,
+            0,
+            "poll mode bypasses the coalescer"
+        );
+        assert_eq!(nic.stats().rx_drops, 0);
+        // The coalescer holds no half-open batch either.
+        assert!(!nic.flush_coalescing(0));
+    }
+
+    #[test]
+    fn polled_rx_dma_still_evicts_payload() {
+        let (mut mem, mut nic) = setup();
+        let cpu = CpuId::new(0);
+        mem.data_touch(cpu, nic.rx_buffers(0), 0, 2048, false);
+        nic.dma_rx_frame_polled(0, &mut mem, 1500);
+        let after = mem.data_touch(cpu, nic.rx_buffers(0), 0, 1500, false);
+        assert!(after.llc_misses > 0, "polled DMA payload must be uncached");
     }
 
     #[test]

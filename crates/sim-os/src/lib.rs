@@ -26,7 +26,10 @@
 //!   when contention disappears under full affinity;
 //! * [`SoftirqQueue`] — per-CPU bottom-half work queues ("the bottom half
 //!   follows the top half's CPU");
-//! * [`TimerWheel`] — deadline bookkeeping for protocol timers.
+//! * [`TimerWheel`] — deadline bookkeeping for protocol timers;
+//! * [`PmdCore`] — the anti-model: a kernel-bypass busy-poll core that
+//!   uses *none* of the above (no IRQ routing, no scheduler, no IPIs),
+//!   against which the interrupt stack's affinity costs are measured.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@
 mod cpumask;
 mod ioapic;
 mod ipi;
+mod pmd;
 mod scheduler;
 mod softirq;
 mod spinlock;
@@ -43,6 +47,7 @@ mod timer;
 pub use cpumask::CpuMask;
 pub use ioapic::IoApic;
 pub use ipi::{IpiFabric, IpiKind};
+pub use pmd::{PmdConfig, PmdCore};
 pub use scheduler::{Scheduler, SchedulerConfig, SchedulerStats, WakePlacement};
 pub use softirq::SoftirqQueue;
 pub use spinlock::{LockAcquisition, SpinLock, SpinLockStats};

@@ -1,0 +1,108 @@
+//! Busy-polling poll-mode-driver (PMD) cores.
+//!
+//! Under the kernel-bypass dataplane there is no IRQ, no softirq and no
+//! scheduler involvement: each CPU is dedicated to a PMD loop that owns a
+//! fixed set of NIC queues and spins on their descriptor rings — rx burst
+//! → protocol → tx, run to completion, all core-local. The price is that
+//! a PMD core burns cycles even when its rings are empty; [`PmdCore`]
+//! turns idle wall-time gaps into whole empty-poll iterations so that
+//! cost can be charged (and priced in GHz/Gbps) instead of vanishing the
+//! way a halted interrupt-mode core's idle time does.
+
+use sim_core::CpuId;
+
+/// Knobs for the busy-poll loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmdConfig {
+    /// Maximum descriptors drained from one queue per poll iteration
+    /// (DPDK's `rx_burst` size).
+    pub burst: u32,
+    /// Cycles one empty poll iteration costs: the ring-tail probe (an
+    /// LLC-resident load once the line settles) plus the `pause`-loop
+    /// overhead around it.
+    pub empty_poll_cycles: u64,
+}
+
+impl Default for PmdConfig {
+    fn default() -> Self {
+        PmdConfig {
+            burst: 32,
+            empty_poll_cycles: 120,
+        }
+    }
+}
+
+/// One busy-polling core: the CPU it occupies and the NIC queues it owns.
+///
+/// Queue ownership is static for the lifetime of a run (the steering
+/// policy's `vector_home` decides it up front), which is what makes the
+/// rx rings single-consumer.
+#[derive(Debug, Clone)]
+pub struct PmdCore {
+    cpu: CpuId,
+    queues: Vec<usize>,
+}
+
+impl PmdCore {
+    /// Creates a PMD core on `cpu` owning no queues yet.
+    #[must_use]
+    pub fn new(cpu: CpuId) -> Self {
+        PmdCore {
+            cpu,
+            queues: Vec::new(),
+        }
+    }
+
+    /// The CPU this core occupies.
+    #[must_use]
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Assigns global queue index `queue` to this core's poll set.
+    pub fn assign(&mut self, queue: usize) {
+        self.queues.push(queue);
+    }
+
+    /// The queues this core polls, in assignment order.
+    #[must_use]
+    pub fn queues(&self) -> &[usize] {
+        &self.queues
+    }
+
+    /// Converts an idle gap of `gap` cycles into the number of empty poll
+    /// iterations the core spun through (at least one for any nonzero
+    /// gap: even a partial iteration probed the rings once).
+    #[must_use]
+    pub fn empty_polls_for_gap(gap: u64, empty_poll_cycles: u64) -> u64 {
+        if gap == 0 {
+            return 0;
+        }
+        gap.div_ceil(empty_poll_cycles.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_assignment_is_ordered() {
+        let mut core = PmdCore::new(CpuId::new(3));
+        core.assign(7);
+        core.assign(2);
+        assert_eq!(core.cpu(), CpuId::new(3));
+        assert_eq!(core.queues(), &[7, 2]);
+    }
+
+    #[test]
+    fn empty_poll_accounting_rounds_up() {
+        assert_eq!(PmdCore::empty_polls_for_gap(0, 120), 0);
+        assert_eq!(PmdCore::empty_polls_for_gap(1, 120), 1);
+        assert_eq!(PmdCore::empty_polls_for_gap(120, 120), 1);
+        assert_eq!(PmdCore::empty_polls_for_gap(121, 120), 2);
+        assert_eq!(PmdCore::empty_polls_for_gap(1200, 120), 10);
+        // Degenerate config never divides by zero.
+        assert_eq!(PmdCore::empty_polls_for_gap(10, 0), 10);
+    }
+}

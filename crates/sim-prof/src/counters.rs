@@ -39,9 +39,72 @@ impl SteerCounters {
     }
 }
 
+/// Counters maintained per busy-polling PMD core by the kernel-bypass
+/// dataplane.
+///
+/// Kept separate from `RunMetrics` (like [`SteerCounters`]) so golden
+/// snapshots of the interrupt-mode matrix — where the poll path never
+/// runs — are unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PollCounters {
+    /// Poll iterations that found at least one descriptor.
+    pub polls: u64,
+    /// Poll iterations that found every owned ring empty (each one burns
+    /// `empty_poll_cycles` for nothing — the cost of forgoing HLT).
+    pub empty_polls: u64,
+    /// Data frames drained by rx bursts.
+    pub rx_frames: u64,
+    /// Segments handed to the tx descriptor ring.
+    pub tx_frames: u64,
+    /// Cycles burned on empty polls (mirrors `Core::spin_cycles`).
+    pub spin_cycles: u64,
+    /// Cycles spent in run-to-completion protocol + app processing.
+    pub work_cycles: u64,
+}
+
+impl PollCounters {
+    /// Adds `other` into `self` (for aggregating across cores or runs).
+    pub fn merge(&mut self, other: &PollCounters) {
+        self.polls += other.polls;
+        self.empty_polls += other.empty_polls;
+        self.rx_frames += other.rx_frames;
+        self.tx_frames += other.tx_frames;
+        self.spin_cycles += other.spin_cycles;
+        self.work_cycles += other.work_cycles;
+    }
+
+    /// Fraction of busy cycles burned spinning (0 when nothing ran).
+    #[must_use]
+    pub fn spin_fraction(&self) -> f64 {
+        let total = self.spin_cycles + self.work_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        self.spin_cycles as f64 / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn poll_merge_and_spin_fraction() {
+        let mut a = PollCounters {
+            polls: 1,
+            empty_polls: 2,
+            rx_frames: 3,
+            tx_frames: 4,
+            spin_cycles: 30,
+            work_cycles: 10,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.polls, 2);
+        assert_eq!(a.spin_cycles, 60);
+        assert!((a.spin_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(PollCounters::default().spin_fraction(), 0.0);
+    }
 
     #[test]
     fn merge_accumulates() {

@@ -48,7 +48,7 @@ mod registry;
 mod report;
 mod sampling;
 
-pub use counters::SteerCounters;
+pub use counters::{PollCounters, SteerCounters};
 pub use profiler::{ProfScratch, Profiler};
 pub use registry::{FuncId, FunctionMeta, FunctionRegistry};
 pub use report::{symbol_report, SampleView, SymbolRow};

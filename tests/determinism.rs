@@ -102,6 +102,29 @@ fn flow_director_matches_committed_golden_snapshot() {
     compare_or_bless("flow_director.snap", &lines);
 }
 
+/// Guards the kernel-bypass poll-mode dataplane: 4 busy-polling PMD
+/// cores over one 4-queue NIC, 12 RSS-hashed flows, both directions.
+/// The snapshot covers the metrics *and* the poll counters (polls,
+/// empty polls, spin vs work cycles), so neither the run-to-completion
+/// loop nor the idle-burn accounting can drift silently.
+#[test]
+fn poll_mode_matches_committed_golden_snapshot() {
+    let mut lines = Vec::new();
+    for dir in [Direction::Tx, Direction::Rx] {
+        let mut config = ExperimentConfig::poll_sweep(dir, 4, 12).with_seed(0x5EED);
+        config.workload.warmup_messages = 2;
+        config.workload.measure_messages = 6;
+        let label = format!("{dir} 4cpu 12flows Poll");
+        let run = run_experiment(&config).unwrap();
+        assert_eq!(
+            run.metrics.interrupts, 0,
+            "poll mode must take no interrupts"
+        );
+        lines.push(format!("{label}: {:?} {:?}", run.metrics, run.poll));
+    }
+    compare_or_bless("poll_mode.snap", &lines);
+}
+
 #[test]
 fn identical_configs_give_identical_results() {
     let config = ExperimentConfig::paper_sut(Direction::Rx, 4096, AffinityMode::Irq).quick();
