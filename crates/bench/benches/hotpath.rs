@@ -56,10 +56,71 @@ fn bench_directory_lookup(c: &mut Criterion) {
     });
 }
 
+/// A single-line read of a hot per-flow counter: the smallest possible
+/// touch, so fixed per-call overhead (address resolution, TLB probe,
+/// summary check) dominates. The floor every other path builds on.
+fn bench_touch_single_line_hit(c: &mut Criterion) {
+    c.bench_function("touch_single_line_hit", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let ctx = mem.add_region("conn.tcb_word", 64);
+        mem.data_touch(CPU0, ctx, 0, 64, false);
+        mem.data_touch(CPU0, ctx, 0, 64, false);
+        b.iter(|| black_box(mem.data_touch(CPU0, ctx, 0, 64, false)));
+    });
+}
+
+/// An exact-repeat 2 KB line run on a region too big for the whole-region
+/// summary (16 KB > L1): the span-claim fast path must engage and replay
+/// the 32-line run by pre-resolved slot — the line-run batch the TX
+/// payload path lives on.
+fn bench_span_line_run_replay(c: &mut Criterion) {
+    c.bench_function("span_line_run_replay", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let buf = mem.add_region("tx.payload", 16 * 1024);
+        mem.data_touch(CPU0, buf, 4096, 2048, false);
+        mem.data_touch(CPU0, buf, 4096, 2048, false);
+        b.iter(|| black_box(mem.data_touch(CPU0, buf, 4096, 2048, false)));
+    });
+}
+
+/// Repeated whole-region writes from one CPU: after the first pass the
+/// region's live exclusivity count equals its line count, so every
+/// iteration takes the O(1) exclusivity check and the directory-free
+/// write walk (no sharer narrows, no generation bumps).
+fn bench_write_exclusive_region(c: &mut Criterion) {
+    c.bench_function("write_exclusive_region", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let ctx = mem.add_region("conn.tcp_ctx", 1536);
+        mem.data_touch(CPU0, ctx, 0, 1536, true);
+        mem.data_touch(CPU0, ctx, 0, 1536, true);
+        b.iter(|| black_box(mem.data_touch(CPU0, ctx, 0, 1536, true)));
+    });
+}
+
+/// One receive descriptor's worth of directory delta: a DMA write
+/// resets 4 KB of sharer state (incremental `excl` deltas + batched
+/// generation bumps), then the consuming CPU's read refills it with
+/// scan-free fills and per-line residency records. The Rx payload
+/// churn that dominates the figure matrix.
+fn bench_dma_directory_delta(c: &mut Criterion) {
+    c.bench_function("dma_directory_delta", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let buf = mem.add_region("rx.ring_buf", 4096);
+        b.iter(|| {
+            mem.dma_write(buf, 0, 4096);
+            black_box(mem.data_touch(CPU0, buf, 0, 4096, false));
+        });
+    });
+}
+
 criterion_group!(
     hotpath,
     bench_touch_hot_region,
     bench_touch_pingpong,
-    bench_directory_lookup
+    bench_directory_lookup,
+    bench_touch_single_line_hit,
+    bench_span_line_run_replay,
+    bench_write_exclusive_region,
+    bench_dma_directory_delta
 );
 criterion_main!(hotpath);

@@ -9,7 +9,7 @@
 use affinity_sim::{
     run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics, RunResult,
 };
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
@@ -61,45 +61,94 @@ pub fn pool_threads() -> usize {
         .unwrap_or_else(|| thread::available_parallelism().map_or(1, usize::from))
 }
 
-/// Runs every job through `run` on a pool of `threads` workers and
-/// returns the results **in job order**, regardless of scheduling.
+/// Hardware threads actually available to this process.
+#[must_use]
+pub fn hardware_threads() -> usize {
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs every job through `run` on a pool of workers and returns the
+/// results **in job order**, regardless of scheduling.
+///
+/// `threads` is a *cap*, not a target: the simulation is pure CPU work,
+/// so spawning more workers than the machine has hardware threads can
+/// only add context-switch and cache-thrash overhead (measured as a
+/// uniform threads=4 loss on a 1-core container before the clamp).
+/// Results never depend on the worker count — only wall time does — so
+/// clamping `REPRO_THREADS=8` to 2 workers on a 2-core box changes
+/// nothing but speed.
 ///
 /// Each simulation cell is self-contained (its own `Machine`, its own
 /// RNG seeded from the config), so cells never share mutable state and
 /// the per-cell results are bit-identical whether the pool runs with one
-/// worker or many. With `threads <= 1` (or a single job) the jobs run
-/// inline on the caller's thread — no spawning, same results.
+/// worker or many.
 pub fn run_pool<J, R, F>(jobs: Vec<J>, threads: usize, run: F) -> Vec<R>
 where
     J: Send,
     R: Send,
     F: Fn(J) -> R + Sync,
 {
+    run_pool_exact(jobs, threads.min(hardware_threads()), run)
+}
+
+/// [`run_pool`] without the hardware clamp: spawns exactly
+/// `workers` threads (when there are that many jobs). Tests use this to
+/// exercise the multi-worker claim/merge machinery even on machines
+/// where the clamp would collapse the pool to one worker.
+///
+/// With `workers <= 1` (or a single job) the jobs run inline on the
+/// caller's thread — no spawning, same results.
+pub fn run_pool_exact<J, R, F>(jobs: Vec<J>, workers: usize, run: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
     let n = jobs.len();
-    let threads = threads.min(n);
-    if threads <= 1 {
+    let workers = workers.min(n);
+    if workers <= 1 {
         return jobs.into_iter().map(run).collect();
     }
-    let queue: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // One shared cursor hands out job indices, so claiming a job is a
+    // single uncontended `fetch_add` instead of a queue-mutex
+    // acquisition. Each per-job slot is locked exactly once by the one
+    // worker whose cursor draw claimed it. Workers accumulate results
+    // in worker-local vectors (nothing shared to contend or false-share
+    // on) and the join-time scatter restores job order, so the output
+    // is independent of which worker ran what.
+    let slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let cursor = AtomicUsize::new(0);
+    let run = &run;
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let Some((idx, job)) = queue.lock().expect("queue lock").pop_front() else {
-                    return;
-                };
-                let out = run(job);
-                *results[idx].lock().expect("result slot lock") = Some(out);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            return local;
+                        }
+                        let job = slots[idx]
+                            .lock()
+                            .expect("job slot lock")
+                            .take()
+                            .expect("each job claimed exactly once");
+                        local.push((idx, run(job)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, out) in handle.join().expect("pool worker panicked") {
+                results[idx] = Some(out);
+            }
         }
     });
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot lock")
-                .expect("worker filled every claimed slot")
-        })
+        .map(|slot| slot.expect("cursor covered every job"))
         .collect()
 }
 
@@ -166,20 +215,14 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// Scans an append-only history file (the format [`append_history`]
-/// writes: one `"key": value` pair per line) and returns the **newest**
-/// entry whose `benchmark` field starts with `benchmark_prefix` and —
-/// when `threads` is given — whose recorded worker count matches, so a
-/// fresh run is only compared against rows timed the same way.
-///
-/// Returns `None` when the file is missing or no row matches.
-#[must_use]
-pub fn latest_history_entry(
-    path: &str,
-    benchmark_prefix: &str,
-    threads: Option<usize>,
-) -> Option<HistoryEntry> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let mut newest = None;
+/// writes: one `"key": value` pair per line) and returns every entry
+/// whose `benchmark` field starts with `benchmark_prefix`, in file
+/// (oldest-first) order.
+fn scan_history(path: &str, benchmark_prefix: &str) -> Vec<HistoryEntry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
     let (mut pr, mut thr, mut wall) = (None::<u32>, None::<usize>, None::<f64>);
     let mut benchmark: Option<String> = None;
     for line in text.lines() {
@@ -193,14 +236,13 @@ pub fn latest_history_entry(
         } else if let Some(v) = json_field(t, "benchmark") {
             benchmark = Some(v.trim_matches('"').to_string());
         } else if t.starts_with('}') {
-            if let (Some(pr), Some(threads_row), Some(wall_s), Some(bench)) =
+            if let (Some(pr), Some(threads), Some(wall_s), Some(bench)) =
                 (pr, thr, wall, benchmark.as_deref())
             {
-                if bench.starts_with(benchmark_prefix) && threads.map_or(true, |n| n == threads_row)
-                {
-                    newest = Some(HistoryEntry {
+                if bench.starts_with(benchmark_prefix) {
+                    rows.push(HistoryEntry {
                         pr,
-                        threads: threads_row,
+                        threads,
                         wall_s,
                     });
                 }
@@ -208,6 +250,43 @@ pub fn latest_history_entry(
             (pr, thr, wall, benchmark) = (None, None, None, None);
         }
     }
+    rows
+}
+
+/// Returns the **newest** history entry whose `benchmark` field starts
+/// with `benchmark_prefix` and — when `threads` is given — whose
+/// recorded worker count matches, so a fresh run is only compared
+/// against rows timed the same way.
+///
+/// Returns `None` when the file is missing or no row matches.
+#[must_use]
+pub fn latest_history_entry(
+    path: &str,
+    benchmark_prefix: &str,
+    threads: Option<usize>,
+) -> Option<HistoryEntry> {
+    scan_history(path, benchmark_prefix)
+        .into_iter()
+        .filter(|row| threads.is_none_or(|n| n == row.threads))
+        .last()
+}
+
+/// Returns the newest matching history entry **per recorded worker
+/// count**, sorted by ascending thread count — the comparison set for
+/// the parallel-runner regression warning (`repro <sweep> --check`
+/// warns when a threads>1 row is slower than its threads=1
+/// counterpart).
+#[must_use]
+pub fn latest_entries_by_threads(path: &str, benchmark_prefix: &str) -> Vec<HistoryEntry> {
+    let mut newest: Vec<HistoryEntry> = Vec::new();
+    for row in scan_history(path, benchmark_prefix) {
+        if let Some(slot) = newest.iter_mut().find(|e| e.threads == row.threads) {
+            *slot = row;
+        } else {
+            newest.push(row);
+        }
+    }
+    newest.sort_by_key(|e| e.threads);
     newest
 }
 
@@ -277,11 +356,12 @@ pub fn seed_averaged(direction: Direction, size: u64, mode: AffinityMode) -> Run
 /// workers the pool used.
 #[must_use]
 pub fn figure_row(direction: Direction, size: u64) -> Vec<(AffinityMode, RunMetrics)> {
-    figure_row_on(direction, size, pool_threads())
+    figure_row_on(direction, size, pool_threads().min(hardware_threads()))
 }
 
-/// [`figure_row`] with an explicit pool size (for thread-independence
-/// tests).
+/// [`figure_row`] with an explicit, unclamped pool size (for
+/// thread-independence tests, which need real multi-worker scheduling
+/// even on single-core machines).
 #[must_use]
 pub fn figure_row_on(
     direction: Direction,
@@ -292,7 +372,7 @@ pub fn figure_row_on(
         .iter()
         .flat_map(|&mode| FIGURE_SEEDS.iter().map(move |&seed| (mode, seed)))
         .collect();
-    let runs = run_pool(jobs, threads, |(mode, seed)| {
+    let runs = run_pool_exact(jobs, threads, |(mode, seed)| {
         run_cell(direction, size, mode, seed).metrics
     });
     AffinityMode::ALL
@@ -430,12 +510,50 @@ mod tests {
     }
 
     #[test]
+    fn latest_entries_by_threads_keeps_newest_per_count() {
+        let path = std::env::temp_dir().join(format!("bench_threads_{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        assert!(latest_entries_by_threads(path, "full figure matrix").is_empty());
+
+        for (pr, threads, wall) in [(4, 8, 2.11), (6, 1, 6.37), (6, 4, 6.77), (8, 1, 6.44)] {
+            append_history(
+                path,
+                &format!(
+                    "  {{\n    \"pr\": {pr},\n    \"benchmark\": \"full figure matrix\",\n    \
+                     \"threads\": {threads},\n    \"current_wall_s\": {wall:.2}\n  }}"
+                ),
+            );
+        }
+
+        let rows = latest_entries_by_threads(path, "full figure matrix");
+        let shape: Vec<(u32, usize, f64)> =
+            rows.iter().map(|e| (e.pr, e.threads, e.wall_s)).collect();
+        // Newest row per thread count, ascending by count.
+        assert_eq!(shape, vec![(8, 1, 6.44), (6, 4, 6.77), (4, 8, 2.11)]);
+
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
     fn run_pool_preserves_job_order() {
         let jobs: Vec<u64> = (0..37).collect();
-        let serial = run_pool(jobs.clone(), 1, |j| j * j);
-        let parallel = run_pool(jobs, 4, |j| j * j);
+        let serial = run_pool_exact(jobs.clone(), 1, |j| j * j);
+        let parallel = run_pool_exact(jobs, 4, |j| j * j);
         assert_eq!(serial, parallel);
         assert_eq!(serial[5], 25);
+    }
+
+    #[test]
+    fn run_pool_clamps_to_hardware() {
+        // The clamped entry point must still produce identical results
+        // at an absurd requested width (it may collapse to one worker
+        // on a small machine — that's the point).
+        let jobs: Vec<u64> = (0..25).collect();
+        assert_eq!(
+            run_pool(jobs, 1024, |j| j + 1),
+            (1..=25).collect::<Vec<_>>()
+        );
     }
 
     #[test]

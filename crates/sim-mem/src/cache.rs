@@ -179,6 +179,25 @@ impl Cache {
         self.fill(base, line, kind)
     }
 
+    /// Fills `line`, which the caller guarantees is absent — e.g. because
+    /// the coherence directory proves the line is in none of this CPU's
+    /// levels (`sim-mem` keeps each sharer bit equal to LLC residency, and
+    /// the LLC is inclusive). Bookkeeping is identical to [`Cache::access`]
+    /// taking its miss path: the clock advances once, one miss is counted,
+    /// and the fill picks the same victim — only the doomed hit scan is
+    /// skipped.
+    #[inline]
+    pub fn fill_absent(&mut self, line: u64, kind: AccessKind) -> AccessOutcome {
+        debug_assert!(
+            !self.contains(line),
+            "fill_absent: line {line} is resident in {}",
+            self.name
+        );
+        self.clock += 1;
+        let base = (line & self.set_mask) as usize * self.ways;
+        self.fill(base, line, kind)
+    }
+
     /// Miss path of [`Cache::access`]: pick a victim, evict, fill.
     fn fill(&mut self, base: usize, line: u64, kind: AccessKind) -> AccessOutcome {
         self.stats.misses += 1;
@@ -416,6 +435,29 @@ mod tests {
             assert_eq!(oa, ob, "divergence at line {line}");
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn fill_absent_matches_access_miss_path() {
+        // Same warm-up, then one cache misses via `access` and the other
+        // fills via `fill_absent`; all state and stats must stay equal.
+        let mut a = Cache::new("a", 2, 2);
+        let mut b = Cache::new("b", 2, 2);
+        for line in 0..4u64 {
+            a.access(line, AccessKind::Read);
+            b.access(line, AccessKind::Read);
+        }
+        for line in 8..12u64 {
+            let oa = a.access(line, AccessKind::Write);
+            let ob = b.fill_absent(line, AccessKind::Write);
+            assert_eq!(oa, ob, "divergence at line {line}");
+        }
+        assert_eq!(a.stats(), b.stats());
+        for line in 0..12u64 {
+            let oa = a.access(line, AccessKind::Read);
+            let ob = b.access(line, AccessKind::Read);
+            assert_eq!(oa, ob, "future divergence at line {line}");
+        }
     }
 
     #[test]

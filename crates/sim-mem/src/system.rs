@@ -26,19 +26,35 @@
 //!   [`RegionTable`] hands out a contiguous physical range, so the vector
 //!   stays small and a default entry (no sharers, no owner) is exactly
 //!   equivalent to the absence of an entry in a sparse map.
+//! * A CPU's sharer bit is kept **exactly equal to LLC residency** (set by
+//!   the fill that lands the line in the LLC, cleared by the inclusive
+//!   eviction, the write-invalidation and DMA — the only ways a line
+//!   leaves an LLC). With inclusion bounding the inner levels, one
+//!   directory read classifies a whole access: a clear bit means every
+//!   level misses (the walk fills directly, [`Cache::fill_absent`],
+//!   skipping the doomed hit scans), a set bit means the LLC cannot miss
+//!   and no remote modified owner can exist (skipping the downgrade
+//!   check and the redundant re-record of residency).
+//! * The directory keeps per-(region, CPU) **incremental exclusivity
+//!   counts** (`excl`): how many of the region's own lines have sharer
+//!   set exactly `{cpu}`, updated by delta at each sharer-set mutation
+//!   and never recomputed by scan. A region whose count equals its line
+//!   count is written (or read) with no directory traffic at all; the
+//!   counts also give the write fast path its O(1) exclusivity check.
 //! * TLBs are probed once per *page* of a touch instead of once per line
 //!   ([`Tlb::access_n`] keeps the bookkeeping identical).
 //! * A generation-stamped per-(CPU, region) [`Summary`] records when every
-//!   line of a region is resident in the CPU's L1 (`hot`), and when on top
-//!   of that there are no foreign sharers and the CPU owns every line
-//!   (`owned`). While the stamp is current, a read touch of a hot region —
-//!   or a write touch of an owned one — short-circuits the per-line
-//!   coherence-and-hierarchy walk down to the L1 hit bookkeeping, which is
-//!   the only part with observable effects. Every event that could falsify
-//!   a summary (fills, evictions, invalidations, downgrades, DMA)
-//!   advances the region's generation, so the fast path can never mask a
-//!   miss or skip an invalidation: observable counters are bit-identical
-//!   to the per-line walk.
+//!   line of a region is resident in the CPU's L1 (`hot`). While the
+//!   stamp is current, a touch of a hot region (writes additionally need
+//!   the live exclusivity count at full coverage) short-circuits the
+//!   per-line coherence-and-hierarchy walk down to the L1 hit
+//!   bookkeeping, which is the only part with observable effects. Every
+//!   event that could falsify a summary (fills, evictions, invalidations,
+//!   DMA writes) advances the region's generation, so the fast path can
+//!   never mask a miss or skip an invalidation: observable counters are
+//!   bit-identical to the per-line walk. Generations move once per touch
+//!   (accumulated masks, [`apply_bumps`]) rather than once per line —
+//!   claims only test stamp equality, so the batching is invisible.
 //! * The verification scan also records each line's L1 storage slot, so
 //!   the fast path updates LRU state by direct index
 //!   ([`Cache::touch_resident_run`]) instead of re-running the
@@ -83,12 +99,14 @@ struct DirEntry {
 /// Residency summary for one (CPU, region) pair, backing the touch fast
 /// path.
 ///
-/// The claims (`hot`, `owned`) are trusted only while `verified_gen`
-/// matches the (CPU, region) generation in [`MemorySystem::gens`]; every
-/// event that could falsify them — an L1 fill or eviction, a coherence
-/// invalidation or downgrade, a directory sharer/owner change, DMA —
-/// bumps that generation, so a stale summary simply falls back to the
-/// exact per-line walk until a verification scan re-establishes it.
+/// The `hot` claim is trusted only while `verified_gen` matches the
+/// (CPU, region) generation in [`MemorySystem::gens`]; every event that
+/// could falsify it — an L1 fill or eviction, a coherence invalidation,
+/// a directory sharer change, DMA — bumps that generation, so a stale
+/// summary simply falls back to the exact per-line walk until a
+/// verification scan re-establishes it. Write exclusivity is no longer a
+/// stamped claim at all: [`MemorySystem::excl`] tracks it incrementally,
+/// so the write fast path reads the live count instead of re-scanning.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Summary {
     /// Value of the region generation (`MemorySystem::gens`) when the
@@ -101,9 +119,6 @@ struct Summary {
     /// are pure L1 hits and read coherence is a no-op (a resident line's
     /// owner can only be this CPU or nobody).
     hot: bool,
-    /// Additionally each line has `sharers == {cpu}` and this CPU as its
-    /// directory owner, so write coherence is a no-op too.
-    owned: bool,
     /// L1 storage slot of each region line (index `line - first_line`),
     /// recorded by the verification scan. Valid exactly as long as the
     /// summary is: any eviction, invalidation or fill that could move a
@@ -133,8 +148,10 @@ struct SpanClaim {
     first: u64,
     last: u64,
     /// The claim came from a write walk, which left every span line with
-    /// `sharers == {cpu}` and this CPU as owner — so a repeated *write*
-    /// of the span is also coherence- and directory-free.
+    /// `sharers == {cpu}` — so a repeated *write* of the span is also
+    /// coherence- and directory-free. (The directory owner field is
+    /// deliberately not part of the claim: owner state is unobservable,
+    /// see [`MemorySystem::dma_read`].)
     owned: bool,
     /// L1 storage slot of `first + i`, recorded during the walk.
     slots: Vec<u32>,
@@ -160,7 +177,6 @@ impl Default for Summary {
             // != change_gen so the first verification scan is allowed.
             failed_gen: u64::MAX,
             hot: false,
-            owned: false,
             slots: Vec::new(),
             spans: Vec::new(),
             span_cursor: 0,
@@ -320,6 +336,19 @@ pub struct MemorySystem {
     /// the fill path can bump every CPU's view of a region with one short
     /// contiguous run of increments.
     gens: Vec<u64>,
+    /// `excl[region * cpus + cpu]`: incremental coherence-directory
+    /// aggregate — the number of the region's own lines whose sharer set
+    /// is exactly `{cpu}`. Maintained by delta at every directory
+    /// mutation ([`excl_delta`]), never recomputed by scan, so write
+    /// touches check exclusivity of a whole region in O(1):
+    /// `excl == region lines` means a write is coherence- and
+    /// directory-free. The directory *owner* is deliberately excluded
+    /// from the predicate (see [`MemorySystem::dma_read`]).
+    excl: Vec<u32>,
+    /// Last line of each region's own range, for bounding which lines
+    /// count toward `excl` (touches can run past a region's end into
+    /// overflow pages attributed to it; those lines must not count).
+    region_last: Vec<u64>,
     /// `code_summaries[region * cpus + cpu]`: trace-cache fast-path state,
     /// laid out like `summaries`.
     code_summaries: Vec<CodeSummary>,
@@ -335,8 +364,61 @@ pub struct MemorySystem {
     remote_invals: Vec<(u64, u32)>,
     #[serde(skip)]
     remote_cleans: Vec<(u64, u8)>,
+    /// Reused per-touch accumulator of pending generation bumps,
+    /// `(region, cpu mask)`. The walks record which (region, CPU) views
+    /// changed and apply all bumps once at the end ([`apply_bumps`])
+    /// instead of bumping per line: nothing reads `gens` mid-walk, and
+    /// claims only compare stamped generations for equality, so one bump
+    /// per touch invalidates exactly the same claims as one per line.
+    #[serde(skip)]
+    bump_masks: Vec<(u32, u32)>,
     line_shift: u32,
     page_shift: u32,
+}
+
+/// Records that every CPU in `mask` must have its view of region `rid`
+/// bumped before the touch returns. Touches span one or two regions, so a
+/// linear scan of the accumulator beats any map.
+#[inline]
+fn note_bump(bumps: &mut Vec<(u32, u32)>, rid: u32, mask: u32) {
+    for e in bumps.iter_mut() {
+        if e.0 == rid {
+            e.1 |= mask;
+            return;
+        }
+    }
+    bumps.push((rid, mask));
+}
+
+/// Applies the accumulated generation bumps. Claims stamped before this
+/// touch become stale exactly as they would under per-line bumping; the
+/// absolute generation values differ but only equality is ever tested.
+#[inline]
+fn apply_bumps(gens: &mut [u64], bumps: &[(u32, u32)], ncpus: usize) {
+    for &(rid, mask) in bumps {
+        let b = rid as usize * ncpus;
+        let mut m = mask;
+        while m != 0 {
+            gens[b + m.trailing_zeros() as usize] += 1;
+            m &= m - 1;
+        }
+    }
+}
+
+/// Incremental-directory delta: a line's sharer set changed from `old` to
+/// `new`, so the per-(region, CPU) exclusive-line counts at `base` move
+/// with it. A set is "exclusive" exactly when it is a single bit.
+#[inline]
+fn excl_delta(excl: &mut [u32], base: usize, old: u32, new: u32) {
+    if old == new {
+        return;
+    }
+    if old.count_ones() == 1 {
+        excl[base + old.trailing_zeros() as usize] -= 1;
+    }
+    if new.count_ones() == 1 {
+        excl[base + new.trailing_zeros() as usize] += 1;
+    }
 }
 
 impl MemorySystem {
@@ -388,10 +470,13 @@ impl MemorySystem {
             page_region: Vec::new(),
             summaries: Vec::new(),
             gens: Vec::new(),
+            excl: Vec::new(),
+            region_last: Vec::new(),
             code_summaries: Vec::new(),
             dma_sharers: Vec::new(),
             remote_invals: Vec::new(),
             remote_cleans: Vec::new(),
+            bump_masks: Vec::new(),
             cpus,
             config,
         }
@@ -432,6 +517,8 @@ impl MemorySystem {
         self.summaries
             .extend(std::iter::repeat_with(Summary::default).take(ncpus));
         self.gens.extend(std::iter::repeat_n(0, ncpus));
+        self.excl.extend(std::iter::repeat_n(0, ncpus));
+        self.region_last.push((base + size - 1) >> self.line_shift);
         self.code_summaries
             .extend(std::iter::repeat_with(CodeSummary::default).take(ncpus));
         id
@@ -500,13 +587,31 @@ impl MemorySystem {
             page_region,
             summaries,
             gens,
+            excl,
+            region_last,
             remote_invals,
             remote_cleans,
+            bump_masks,
             ..
         } = self;
         let ncpus = cpus.len();
-        // Flat (region, cpu) offset, shared by `gens` and `summaries`.
+        // Flat (region, cpu) offset, shared by `gens`, `excl` and
+        // `summaries`.
         let si = region.index() * ncpus + idx;
+        let region_lines = region_last_line - region_first_line + 1;
+
+        // Live exclusivity: every one of the region's own lines has
+        // sharer set exactly `{me}`. The count is maintained
+        // incrementally at each directory mutation, so this is O(1) where
+        // the old `owned` stamp needed a verification scan. Exclusive
+        // lines need no coherence (no remote copies to invalidate), no
+        // directory write (the narrow and the owner store are no-ops —
+        // owner state is unobservable, see `dma_read`), and are
+        // guaranteed LLC-resident (a sharer bit is set iff the line is in
+        // that CPU's inclusive LLC).
+        let all_excl = last <= region_last_line
+            && region_lines <= u64::from(u32::MAX)
+            && excl[si] == region_lines as u32;
 
         // Fast path: every line is a private L1 hit, so coherence and the
         // directory update are no-ops and only the L1 bookkeeping remains
@@ -515,7 +620,7 @@ impl MemorySystem {
         // slow path — the summary only covers the region's own lines.
         let gen = gens[si];
         let s = &summaries[si];
-        if s.is_current(gen) && (!write || s.owned) && last <= region_last_line {
+        if s.is_current(gen) && (!write || all_excl) && last <= region_last_line {
             let lo = (first - region_first_line) as usize;
             cpus[idx]
                 .l1
@@ -554,102 +659,232 @@ impl MemorySystem {
         // the rare coherence actions against *other* CPUs' caches are
         // recorded and applied after the loop. Deferral is exact: the
         // walk's lines are distinct and the walk only reads its own
-        // hierarchy, the directory and `gens`, never a remote cache — so
-        // a remote invalidation or downgrade commutes with everything
-        // between its original position and the end of the walk. The
-        // directory and generation updates stay in line order.
+        // hierarchy and the directory, never a remote cache or `gens` —
+        // so a remote invalidation or downgrade commutes with everything
+        // between its original position and the end of the walk, and the
+        // accumulated generation bumps ([`note_bump`]) can land after the
+        // loop too. The directory updates stay in line order.
         remote_invals.clear();
         remote_cleans.clear();
+        bump_masks.clear();
+        let all_mask = if ncpus >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << ncpus) - 1
+        };
         let my = &mut cpus[idx];
-        for line in first..=last {
-            // Coherence: writes invalidate remote copies; reads downgrade
-            // a remote modified owner. For a read, the L1 is probed first:
-            // a resident line's directory owner can only be this CPU or
-            // nobody (a remote write would have invalidated the copy), so
-            // read coherence on an L1 hit is a no-op and the directory —
-            // a large flat array — need not be touched at all. The remote
-            // downgrade and the local fill operate on disjoint state, so
-            // probing before the downgrade is indistinguishable from the
-            // coherence-first order.
-            let l1 = match kind {
-                AccessKind::Write => {
-                    let entry = &mut directory[line as usize];
-                    let others = entry.sharers & !me_bit;
-                    entry.sharers &= me_bit;
-                    entry.owner = Some(me);
-                    if others != 0 {
-                        let r_line = page_region[(line >> lpp) as usize] as usize;
-                        let mut m = others;
-                        while m != 0 {
-                            let other = m.trailing_zeros() as usize;
-                            gens[r_line * ncpus + other] += 1;
-                            m &= m - 1;
-                        }
-                        // The write privatised the line: let this CPU's
-                        // summary re-scan for the `owned` upgrade.
-                        gens[r_line * ncpus + idx] += 1;
-                        remote_invals.push((line, others));
-                    }
-                    my.l1.access(line, kind)
+        if all_excl {
+            // Directory-free walk: every line of the touch has sharer set
+            // exactly `{me}`, so there are no remote copies to invalidate
+            // or downgrade, the directory narrow/record writes are no-ops,
+            // and no other CPU can hold a current claim over any of these
+            // lines (a claim needs the line resident in *its* cache, which
+            // exclusivity rules out) — so their generation bumps can be
+            // skipped along with the directory traffic. Only the cache
+            // hierarchy itself is walked; exclusive lines are
+            // LLC-resident by the sharer-bit invariant, so the walk can
+            // never reach the fill-and-record tail.
+            for line in first..=last {
+                let l1 = my.l1.access(line, kind);
+                span_slots.push(l1.slot);
+                if l1.hit {
+                    continue;
                 }
-                AccessKind::Read => {
-                    let l1 = my.l1.access(line, kind);
-                    if !l1.hit {
+                result.l1_misses += 1;
+                if let Some(victim) = l1.evicted {
+                    note_bump(bump_masks, page_region[(victim >> lpp) as usize], me_bit);
+                }
+                if my.l2.access(line, kind).hit {
+                    continue;
+                }
+                result.l2_misses += 1;
+                let llc = my.llc.access(line, kind);
+                debug_assert!(
+                    llc.hit && llc.evicted.is_none(),
+                    "exclusive line {line} must be LLC-resident"
+                );
+            }
+        } else {
+            for line in first..=last {
+                // Coherence: writes invalidate remote copies; reads
+                // downgrade a remote modified owner. For a read, the L1 is
+                // probed first: a resident line's directory owner can only
+                // be this CPU or nobody (a remote write would have
+                // invalidated the copy), so read coherence on an L1 hit is
+                // a no-op and the directory — a large flat array — need
+                // not be touched at all. The remote downgrade and the
+                // local fill operate on disjoint state, so probing before
+                // the downgrade is indistinguishable from the
+                // coherence-first order.
+                match kind {
+                    AccessKind::Write => {
                         let entry = &mut directory[line as usize];
+                        let old = entry.sharers;
+                        let others = old & !me_bit;
+                        entry.sharers = old & me_bit;
+                        entry.owner = Some(me);
+                        if others != 0 {
+                            let rid = page_region[(line >> lpp) as usize];
+                            note_bump(bump_masks, rid, others);
+                            if line <= region_last[rid as usize] {
+                                excl_delta(excl, rid as usize * ncpus, old, old & me_bit);
+                            }
+                            remote_invals.push((line, others));
+                        }
+                        if old & me_bit != 0 {
+                            // The sharer bit says the line is in this
+                            // CPU's LLC; the inner levels may still miss,
+                            // but the LLC cannot, so the walk never
+                            // reaches the fill-and-record tail — and the
+                            // refill changes no directory state (bit
+                            // already set, owner already this CPU), so
+                            // no generation moves either.
+                            let l1 = my.l1.access(line, kind);
+                            span_slots.push(l1.slot);
+                            if l1.hit {
+                                continue;
+                            }
+                            result.l1_misses += 1;
+                            if let Some(victim) = l1.evicted {
+                                note_bump(
+                                    bump_masks,
+                                    page_region[(victim >> lpp) as usize],
+                                    me_bit,
+                                );
+                            }
+                            if my.l2.access(line, kind).hit {
+                                continue;
+                            }
+                            result.l2_misses += 1;
+                            let llc = my.llc.access(line, kind);
+                            debug_assert!(
+                                llc.hit && llc.evicted.is_none(),
+                                "shared line {line} must be LLC-resident"
+                            );
+                        } else {
+                            // Clear bit ⇒ in none of this CPU's levels
+                            // (sharer bit ⟺ LLC residency, LLC
+                            // inclusive): straight fills, no doomed hit
+                            // scans at any level.
+                            result.l1_misses += 1;
+                            result.l2_misses += 1;
+                            result.llc_misses += 1;
+                            let l1 = my.l1.fill_absent(line, kind);
+                            span_slots.push(l1.slot);
+                            if let Some(victim) = l1.evicted {
+                                note_bump(
+                                    bump_masks,
+                                    page_region[(victim >> lpp) as usize],
+                                    me_bit,
+                                );
+                            }
+                            let _ = my.l2.fill_absent(line, kind);
+                            let llc = my.llc.fill_absent(line, kind);
+                            if let Some(victim) = llc.evicted {
+                                // Inclusive LLC: back-invalidate inner
+                                // levels and drop the victim from the
+                                // directory's view of this CPU.
+                                my.l1.invalidate(victim);
+                                my.l2.invalidate(victim);
+                                let e = &mut directory[victim as usize];
+                                let vold = e.sharers;
+                                e.sharers = vold & !me_bit;
+                                if e.owner == Some(me) {
+                                    e.owner = None;
+                                }
+                                let vrid = page_region[(victim >> lpp) as usize];
+                                if victim <= region_last[vrid as usize] {
+                                    excl_delta(excl, vrid as usize * ncpus, vold, vold & !me_bit);
+                                }
+                                note_bump(bump_masks, vrid, me_bit);
+                            }
+                            // Record residency: the narrow above left the
+                            // set empty, so it becomes exactly `{me}`.
+                            // The sharer set grows, so every CPU's view
+                            // of this line's region may change.
+                            directory[line as usize].sharers = me_bit;
+                            let rid = page_region[(line >> lpp) as usize];
+                            if line <= region_last[rid as usize] {
+                                excl_delta(excl, rid as usize * ncpus, 0, me_bit);
+                            }
+                            note_bump(bump_masks, rid, all_mask);
+                        }
+                    }
+                    AccessKind::Read => {
+                        let l1 = my.l1.access(line, kind);
+                        span_slots.push(l1.slot);
+                        if l1.hit {
+                            continue;
+                        }
+                        result.l1_misses += 1;
+                        if let Some(victim) = l1.evicted {
+                            note_bump(bump_masks, page_region[(victim >> lpp) as usize], me_bit);
+                        }
+                        let entry = &mut directory[line as usize];
+                        if entry.sharers & me_bit != 0 {
+                            // In this CPU's LLC, so its owner can only be
+                            // this CPU or nobody (a remote write would
+                            // have cleared the bit): no downgrade, and
+                            // the LLC cannot miss. The refill changes no
+                            // directory state, so no generation moves.
+                            if my.l2.access(line, kind).hit {
+                                continue;
+                            }
+                            result.l2_misses += 1;
+                            let llc = my.llc.access(line, kind);
+                            debug_assert!(
+                                llc.hit && llc.evicted.is_none(),
+                                "shared line {line} must be LLC-resident"
+                            );
+                            continue;
+                        }
                         if let Some(owner) = entry.owner {
                             if owner as usize != idx {
                                 // Remote modified copy: force writeback,
-                                // keep shared.
+                                // keep shared. Owner-only change: the
+                                // sharer set is untouched, so `excl`
+                                // does not move.
                                 entry.owner = None;
-                                let r_line = page_region[(line >> lpp) as usize] as usize;
-                                gens[r_line * ncpus + owner as usize] += 1;
+                                note_bump(
+                                    bump_masks,
+                                    page_region[(line >> lpp) as usize],
+                                    1u32 << owner,
+                                );
                                 remote_cleans.push((line, owner));
                             }
                         }
+                        // Clear bit ⇒ absent from every level: straight
+                        // fills (see the write path).
+                        result.l2_misses += 1;
+                        result.llc_misses += 1;
+                        let _ = my.l2.fill_absent(line, kind);
+                        let llc = my.llc.fill_absent(line, kind);
+                        if let Some(victim) = llc.evicted {
+                            my.l1.invalidate(victim);
+                            my.l2.invalidate(victim);
+                            let e = &mut directory[victim as usize];
+                            let vold = e.sharers;
+                            e.sharers = vold & !me_bit;
+                            if e.owner == Some(me) {
+                                e.owner = None;
+                            }
+                            let vrid = page_region[(victim >> lpp) as usize];
+                            if victim <= region_last[vrid as usize] {
+                                excl_delta(excl, vrid as usize * ncpus, vold, vold & !me_bit);
+                            }
+                            note_bump(bump_masks, vrid, me_bit);
+                        }
+                        // Record residency.
+                        let entry = &mut directory[line as usize];
+                        let old = entry.sharers;
+                        entry.sharers = old | me_bit;
+                        let rid = page_region[(line >> lpp) as usize];
+                        if line <= region_last[rid as usize] {
+                            excl_delta(excl, rid as usize * ncpus, old, old | me_bit);
+                        }
+                        note_bump(bump_masks, rid, all_mask);
                     }
-                    l1
                 }
-            };
-
-            span_slots.push(l1.slot);
-            if l1.hit {
-                continue;
-            }
-            result.l1_misses += 1;
-            if let Some(victim) = l1.evicted {
-                gens[page_region[(victim >> lpp) as usize] as usize * ncpus + idx] += 1;
-            }
-            let l2 = my.l2.access(line, kind);
-            if l2.hit {
-                continue;
-            }
-            result.l2_misses += 1;
-            let llc = my.llc.access(line, kind);
-            if let Some(victim) = llc.evicted {
-                // Inclusive LLC: back-invalidate inner levels and drop the
-                // victim from the directory's view of this CPU.
-                my.l1.invalidate(victim);
-                my.l2.invalidate(victim);
-                let e = &mut directory[victim as usize];
-                e.sharers &= !me_bit;
-                if e.owner == Some(me) {
-                    e.owner = None;
-                }
-                gens[page_region[(victim >> lpp) as usize] as usize * ncpus + idx] += 1;
-            }
-            if !llc.hit {
-                result.llc_misses += 1;
-            }
-            // Record residency. The sharer set grows, so every CPU's view
-            // of this line's region may change.
-            let entry = &mut directory[line as usize];
-            entry.sharers |= me_bit;
-            if write {
-                entry.owner = Some(me);
-            }
-            let b = page_region[(line >> lpp) as usize] as usize * ncpus;
-            for g in &mut gens[b..b + ncpus] {
-                *g += 1;
             }
         }
         // Apply the deferred remote-cache coherence actions (see above).
@@ -670,22 +905,22 @@ impl MemorySystem {
             c.l2.clean(line);
             c.llc.clean(line);
         }
+        apply_bumps(gens, bump_masks, ncpus);
 
         // Promotion: a touch that never left the L1 cannot have changed
         // anything mid-walk, so a verification scan over the region's own
-        // lines can (re-)establish the summary for future touches.
+        // lines can (re-)establish the summary for future touches. The
+        // scan only resolves L1 slots now — write exclusivity comes from
+        // the live `excl` count, so the directory is not read at all.
         let gen_now = gens[si];
         if result.l1_misses == 0 {
-            let region_lines = region_last_line - region_first_line + 1;
             let s = &mut summaries[si];
-            let wants = !s.is_current(gen_now) || (write && !s.owned);
-            if wants
+            if !s.is_current(gen_now)
                 && s.failed_gen != gen_now
                 && region_lines <= cpus[idx].l1.capacity_lines() as u64
             {
                 let l1 = &cpus[idx].l1;
                 let mut hot = true;
-                let mut owned = true;
                 s.slots.clear();
                 for line in region_first_line..=region_last_line {
                     let Some(slot) = l1.slot_of(line) else {
@@ -693,12 +928,9 @@ impl MemorySystem {
                         break;
                     };
                     s.slots.push(slot);
-                    let e = &directory[line as usize];
-                    owned &= e.sharers == me_bit && e.owner == Some(me);
                 }
                 if hot {
                     s.hot = true;
-                    s.owned = owned;
                     s.verified_gen = gen_now;
                 } else {
                     s.hot = false;
@@ -711,9 +943,10 @@ impl MemorySystem {
         // the recorded slots when it was all hits (hits cannot evict) or
         // when the span fits in distinct L1 sets — consecutive lines,
         // span <= sets — so no fill in this touch can displace an earlier
-        // span line. A write walk additionally privatises every span line
-        // (sharers == {cpu}, owner = cpu), making a repeat write
-        // coherence-free too. Touches that run past the region end are
+        // span line. A write walk additionally leaves every span line
+        // with sharer set exactly `{cpu}` (the directory-free walk had
+        // that as its precondition), making a repeat write coherence-free
+        // too. Touches that run past the region end are
         // not claimable: their trailing lines belong to other regions,
         // whose events bump other summaries. The generation is stamped
         // after the walk, absorbing bumps the walk's own victims caused;
@@ -770,7 +1003,10 @@ impl MemorySystem {
             page_region,
             summaries: _,
             gens,
+            excl,
+            region_last,
             code_summaries,
+            bump_masks,
             ..
         } = self;
         let ncpus = cpus.len();
@@ -793,6 +1029,12 @@ impl MemorySystem {
         // summary's old claim dies with its slots (see the walk's end).
         let mut slot_buf = std::mem::take(&mut code_summaries[si].slots);
         slot_buf.clear();
+        bump_masks.clear();
+        let all_mask = if ncpus >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << ncpus) - 1
+        };
         for line in first..=last {
             let tc = caches.tc.access(line, AccessKind::Read);
             slot_buf.push(tc.slot);
@@ -806,30 +1048,53 @@ impl MemorySystem {
                 let vr = page_region[(victim >> lpp) as usize] as usize;
                 code_summaries[vr * ncpus + idx].bump();
             }
-            if caches.l2.access(line, AccessKind::Read).hit {
+            if directory[line as usize].sharers & me_bit != 0 {
+                // In this CPU's LLC (sharer bit ⟺ LLC residency): the L2
+                // may miss but the LLC cannot, and the refill changes no
+                // directory state, so no generation moves.
+                if caches.l2.access(line, AccessKind::Read).hit {
+                    continue;
+                }
+                result.l2_misses += 1;
+                let llc = caches.llc.access(line, AccessKind::Read);
+                debug_assert!(
+                    llc.hit && llc.evicted.is_none(),
+                    "shared code line {line} must be LLC-resident"
+                );
                 continue;
             }
+            // Clear bit ⇒ absent from L2 and LLC (the trace cache is
+            // exempt from inclusion, but it was probed above): straight
+            // fills, no doomed hit scans.
             result.l2_misses += 1;
-            let llc = caches.llc.access(line, AccessKind::Read);
+            result.llc_misses += 1;
+            let _ = caches.l2.fill_absent(line, AccessKind::Read);
+            let llc = caches.llc.fill_absent(line, AccessKind::Read);
             if let Some(victim) = llc.evicted {
                 caches.l1.invalidate(victim);
                 caches.l2.invalidate(victim);
                 let e = &mut directory[victim as usize];
-                e.sharers &= !me_bit;
+                let vold = e.sharers;
+                e.sharers = vold & !me_bit;
                 if e.owner == Some(me) {
                     e.owner = None;
                 }
-                gens[page_region[(victim >> lpp) as usize] as usize * ncpus + idx] += 1;
+                let vrid = page_region[(victim >> lpp) as usize];
+                if victim <= region_last[vrid as usize] {
+                    excl_delta(excl, vrid as usize * ncpus, vold, vold & !me_bit);
+                }
+                note_bump(bump_masks, vrid, me_bit);
             }
-            if !llc.hit {
-                result.llc_misses += 1;
+            let e = &mut directory[line as usize];
+            let old = e.sharers;
+            e.sharers = old | me_bit;
+            let rid = page_region[(line >> lpp) as usize];
+            if line <= region_last[rid as usize] {
+                excl_delta(excl, rid as usize * ncpus, old, old | me_bit);
             }
-            directory[line as usize].sharers |= me_bit;
-            let b = page_region[(line >> lpp) as usize] as usize * ncpus;
-            for g in &mut gens[b..b + ncpus] {
-                *g += 1;
-            }
+            note_bump(bump_masks, rid, all_mask);
         }
+        apply_bumps(gens, bump_masks, ncpus);
 
         // Promotion: the walk leaves every span line resident at its
         // recorded slot when either (a) the fetch was all hits (hits
@@ -872,21 +1137,27 @@ impl MemorySystem {
             directory,
             page_region,
             gens,
+            excl,
+            region_last,
             dma_sharers,
+            bump_masks,
             ..
         } = self;
         let ncpus = cpus.len();
         // Two-pass directory delta. Pass 1 reads each line's directory
-        // entry once: the sharer mask is an exact superset of where the
-        // line is cached (fills set the bit, inclusive LLC eviction and
-        // write-invalidation clear it), so CPUs outside the mask need no
-        // cache probe — on them `invalidate` would miss and count nothing
-        // — and no generation bump, because any summary claim of theirs
-        // involving the line was already false (and its gen already
-        // bumped) when the line left their caches. A zero mask also means
-        // the entry is already default (an owner is always a sharer), so
-        // the reset is skipped too.
+        // entry once: the sharer mask says exactly which LLCs hold the
+        // line (bit ⟺ LLC residency; inclusion bounds the inner levels),
+        // so CPUs outside the mask need no cache probe — on them
+        // `invalidate` would miss and count nothing — and no generation
+        // bump, because any summary claim of theirs involving the line
+        // was already false (and its gen already bumped) when the line
+        // left their caches. A zero mask also means the entry is already
+        // default (an owner is always a sharer), so the reset is skipped
+        // too. Generation bumps accumulate per region and land once after
+        // the pass, which invalidates the same claims as per-line bumps
+        // (only stamp equality is ever tested).
         dma_sharers.clear();
+        bump_masks.clear();
         let mut union_mask = 0u32;
         for line in first..=last {
             let entry = &mut directory[line as usize];
@@ -895,15 +1166,14 @@ impl MemorySystem {
             if mask != 0 {
                 union_mask |= mask;
                 *entry = DirEntry::default();
-                let b = page_region[(line >> lpp) as usize] as usize * ncpus;
-                let mut m = mask;
-                while m != 0 {
-                    let cpu = m.trailing_zeros() as usize;
-                    gens[b + cpu] += 1;
-                    m &= m - 1;
+                let rid = page_region[(line >> lpp) as usize];
+                if line <= region_last[rid as usize] {
+                    excl_delta(excl, rid as usize * ncpus, mask, 0);
                 }
+                note_bump(bump_masks, rid, mask);
             }
         }
+        apply_bumps(gens, bump_masks, ncpus);
         // Pass 2 applies the delta one CPU at a time, so each CPU's cache
         // arrays are walked in one contiguous burst. Invalidations of
         // distinct lines in distinct caches commute, so the per-CPU order
@@ -927,6 +1197,19 @@ impl MemorySystem {
 
     /// Device DMA read from memory (packet transmit): forces writeback of
     /// any modified copy but leaves lines cached.
+    ///
+    /// Takes the directory owner but bumps no generation: nothing the
+    /// fast-path claims assert can be falsified here. Residency claims
+    /// (`hot`, spans) are about L1 contents, which a writeback leaves in
+    /// place; exclusivity (`excl`, `SpanClaim::owned`) is defined over
+    /// the *sharer set* only, which is untouched. That makes the owner
+    /// field unobservable outside the directory itself — its only readers
+    /// are the remote-read downgrade and this writeback, and both are
+    /// no-ops whenever the owner is the accessing CPU or nobody — which
+    /// in turn is what lets the fast paths skip re-asserting
+    /// `owner = cpu` on repeated writes. The per-transmit generation
+    /// churn this used to cause is what kept small-message TX off the
+    /// span fast path entirely.
     pub fn dma_read(&mut self, region: RegionId, offset: u64, bytes: u64) {
         if bytes == 0 {
             return;
@@ -937,23 +1220,15 @@ impl MemorySystem {
         };
         let first = self.line_of(start);
         let last = self.line_of(end.saturating_sub(1));
-        let lpp = self.page_shift - self.line_shift;
         let MemorySystem {
-            cpus,
-            directory,
-            page_region,
-            gens,
-            ..
+            cpus, directory, ..
         } = self;
-        let ncpus = cpus.len();
         for line in first..=last {
             if let Some(owner) = directory[line as usize].owner.take() {
                 let c = &mut cpus[owner as usize];
                 c.l1.clean(line);
                 c.l2.clean(line);
                 c.llc.clean(line);
-                let r_line = page_region[(line >> lpp) as usize] as usize;
-                gens[r_line * ncpus + owner as usize] += 1;
             }
         }
     }
@@ -1026,6 +1301,64 @@ impl MemorySystem {
             .filter(|&l| self.cpus[cpu.index()].llc.contains(l))
             .count();
         resident as f64 / total as f64
+    }
+
+    /// Cross-checks the incremental coherence-directory state against a
+    /// naive full recompute, panicking on any divergence. Testing hook
+    /// for the model-based property tests; not part of the public API.
+    ///
+    /// Verifies the two invariants the hot paths rely on:
+    ///
+    /// 1. `excl[region][cpu]` equals the number of the region's own lines
+    ///    whose directory sharer set is exactly `{cpu}` (the incremental
+    ///    aggregate matches the full-recompute model directory);
+    /// 2. a line's sharer bit for a CPU is set **iff** the line is
+    ///    resident in that CPU's LLC, and inclusion bounds L1/L2 by the
+    ///    LLC (what lets walks turn a clear bit into scan-free fills and
+    ///    a set bit into a guaranteed LLC hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    #[doc(hidden)]
+    pub fn verify_incremental_state(&self) {
+        let ncpus = self.cpus.len();
+        for (id, r) in self.regions.iter() {
+            let first = self.line_of(r.base());
+            let last = self.line_of(r.base() + r.size() - 1);
+            let mut naive = vec![0u32; ncpus];
+            for line in first..=last {
+                let e = &self.directory[line as usize];
+                if e.sharers.count_ones() == 1 {
+                    naive[e.sharers.trailing_zeros() as usize] += 1;
+                }
+                for (cpu, c) in self.cpus.iter().enumerate() {
+                    let bit = e.sharers & (1u32 << cpu) != 0;
+                    let in_llc = c.llc.contains(line);
+                    assert_eq!(
+                        bit, in_llc,
+                        "line {line} of {}: sharer bit {bit} but LLC residency {in_llc} on cpu {cpu}",
+                        r.name()
+                    );
+                    if !in_llc {
+                        assert!(
+                            !c.l1.contains(line) && !c.l2.contains(line),
+                            "line {line} of {}: inner level holds a line outside the LLC on cpu {cpu}",
+                            r.name()
+                        );
+                    }
+                }
+            }
+            let b = id.index() * ncpus;
+            for (cpu, &want) in naive.iter().enumerate() {
+                assert_eq!(
+                    self.excl[b + cpu],
+                    want,
+                    "excl[{}][{cpu}] diverged from full recompute",
+                    r.name()
+                );
+            }
+        }
     }
 
     /// Resets every hit/miss counter, keeping cache contents (used to

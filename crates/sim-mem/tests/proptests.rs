@@ -112,4 +112,41 @@ proptest! {
         prop_assert!(res.llc_misses <= res.l2_misses);
         prop_assert!(res.l2_misses <= res.l1_misses);
     }
+
+    /// The incremental coherence directory (live `excl` exclusivity
+    /// counts, sharer-bit ⟺ LLC-residency, inclusion) matches a naive
+    /// full-recompute model directory after **every** step of an
+    /// arbitrary operation sequence — reads, writes, instruction
+    /// fetches, DMA invalidations and writebacks, issued by randomly
+    /// steered CPUs against overlapping regions. Same idiom as the
+    /// calendar-vs-heap and SPSC-vs-VecDeque model tests:
+    /// `verify_incremental_state` rebuilds the aggregates from the
+    /// directory and the actual cache contents and panics on any
+    /// divergence, so a bug in any delta-update site shrinks to a
+    /// minimal op sequence.
+    #[test]
+    fn incremental_directory_matches_full_recompute(
+        ops in prop::collection::vec(
+            (0u8..6, 0u32..3, 0usize..2, 0u64..6000, 1u64..700),
+            1..60,
+        ),
+    ) {
+        // Tiny geometry (64-line LLC) so capacity evictions,
+        // back-invalidations and cross-CPU steals happen constantly.
+        let mut m = MemorySystem::new(MemoryConfig::tiny(3));
+        let regions = [m.add_region("a", 4096), m.add_region("b", 8192)];
+        for &(kind, cpu, rix, off, len) in &ops {
+            let cpu = CpuId::new(cpu);
+            let r = regions[rix];
+            match kind {
+                0 => { m.data_touch(cpu, r, off, len, false); }
+                1 => { m.data_touch(cpu, r, off, len, true); }
+                2 => { m.code_fetch(cpu, r, off, len.min(300)); }
+                3 => m.dma_write(r, off, len),
+                4 => m.dma_read(r, off, len),
+                _ => m.flush_tlbs(cpu),
+            }
+            m.verify_incremental_state();
+        }
+    }
 }
