@@ -9,10 +9,10 @@ use sim_prof::{FunctionRegistry, PollCounters, Profiler, SteerCounters};
 use sim_tcp::StackConfig;
 
 use crate::machine::Machine;
-use crate::metrics::RunMetrics;
+use crate::metrics::{LifecycleCounters, RunMetrics};
 use crate::mode::AffinityMode;
 use crate::steer::SteerSpec;
-use crate::workload::{Direction, Workload};
+use crate::workload::{Direction, ServerWorkload, Workload};
 
 /// Timing/capacity knobs of the machine model that are not part of any
 /// single substrate.
@@ -178,6 +178,13 @@ pub struct ExperimentConfig {
     /// ([`DataplaneMode::Interrupt`]) leaves every interrupt-path
     /// experiment untouched.
     pub dataplane: DataplaneConfig,
+    /// Server-side connection churn. `None` (the default everywhere)
+    /// runs the immortal-flow `ttcp` workload exactly as before; `Some`
+    /// switches the machine to dynamic connections — `connections`
+    /// becomes the flow-slot count (the concurrency target), and the
+    /// run completes when the configured number of connections has gone
+    /// SYN → accept → request/response → FIN → close.
+    pub server: Option<ServerWorkload>,
 }
 
 impl ExperimentConfig {
@@ -198,6 +205,7 @@ impl ExperimentConfig {
             tunables: Tunables::default(),
             steer: None,
             dataplane: DataplaneConfig::default(),
+            server: None,
         }
     }
 
@@ -287,10 +295,43 @@ impl ExperimentConfig {
         config
     }
 
+    /// A connection-churn SUT for the `repro churn` sweep: the
+    /// multi-queue [`ExperimentConfig::steer_sweep`] geometry carrying
+    /// `flows` dynamic connection slots under `spec` steering and the
+    /// chosen `dataplane`, driven by [`ServerWorkload::churn`]. Per-flow
+    /// buffers are trimmed (small skb pools, 16-segment send buffers,
+    /// 8-frame peer windows, per-segment ACKs) so 100k-slot cells stay
+    /// tractable, and `workload.message_bytes` is sized to the largest
+    /// response so the stack's skb regions fit every connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is outside `1..=64` or `flows` is zero.
+    #[must_use]
+    pub fn churn(cpus: usize, flows: usize, spec: SteerSpec, dataplane: DataplaneMode) -> Self {
+        let server = ServerWorkload::churn(flows as u64);
+        let mut config = ExperimentConfig::steer_sweep(Direction::Tx, cpus, flows, spec);
+        config.dataplane.mode = dataplane;
+        config.workload.message_bytes = server
+            .elephant_response_bytes
+            .max(server.response_bytes)
+            .max(server.request_bytes);
+        config.stack.ack_every = 1;
+        config.stack.skb_meta_bytes = 16 * 1024;
+        config.stack.skb_data_bytes = 64 * 1024;
+        config.tunables.send_buf_segments = 16;
+        config.tunables.peer_window = 8;
+        config.server = Some(server);
+        config
+    }
+
     /// Shrinks the workload for fast tests.
     #[must_use]
     pub fn quick(mut self) -> Self {
         self.workload = self.workload.quick();
+        if let Some(server) = self.server {
+            self.server = Some(server.quick());
+        }
         self
     }
 
@@ -326,6 +367,9 @@ pub struct RunResult {
     /// Busy-poll counters per CPU (empty under
     /// [`DataplaneMode::Interrupt`]).
     pub poll_per_cpu: Vec<PollCounters>,
+    /// Connection-lifecycle counters (all zero for the immortal-flow
+    /// `ttcp` workloads, populated by server/churn runs).
+    pub lifecycle: LifecycleCounters,
 }
 
 /// Builds the machine, runs the workload to completion and returns the
@@ -358,6 +402,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<RunResult> {
         steer: machine.steer_stats(),
         poll: machine.poll_stats(),
         poll_per_cpu: machine.poll_stats_per_cpu(),
+        lifecycle: machine.lifecycle_stats(),
     })
 }
 
@@ -585,5 +630,90 @@ mod tests {
         let b = run_experiment(&config).unwrap();
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.steer, b.steer);
+    }
+
+    #[test]
+    fn churn_config_shape() {
+        let c = ExperimentConfig::churn(8, 64, SteerSpec::flow_director(), DataplaneMode::Poll);
+        assert_eq!(c.cpus, 8);
+        assert_eq!(c.connections, 64);
+        assert_eq!(c.dataplane.mode, DataplaneMode::Poll);
+        let server = c.server.expect("churn sets a server workload");
+        assert_eq!(server.total_conns(), 64 + 32);
+        assert_eq!(c.stack.ack_every, 1, "server flows ACK every segment");
+        // Responses fit the per-connection buffers.
+        assert!(server.elephant_response_bytes <= c.stack.skb_data_bytes);
+        // quick() shrinks the connection budget too.
+        let q = c.quick();
+        assert!(q.server.expect("still server").total_conns() <= server.total_conns());
+    }
+
+    #[test]
+    fn churn_interrupt_run_completes_and_drains() {
+        let config =
+            ExperimentConfig::churn(4, 24, SteerSpec::flow_director(), DataplaneMode::Interrupt)
+                .quick();
+        let r = run_experiment(&config).unwrap();
+        let total = config.server.unwrap().total_conns();
+        assert!(r.lifecycle.accepts > 0, "{:?}", r.lifecycle);
+        assert!(r.lifecycle.completes > 0, "{:?}", r.lifecycle);
+        assert!(
+            r.lifecycle.backlog_drops > 0,
+            "the overbooked arrival wave must contend for slots: {:?}",
+            r.lifecycle
+        );
+        assert!(r.lifecycle.completes <= total);
+        assert!(r.lifecycle.fct_p50_cycles > 0);
+        assert!(r.lifecycle.fct_p99_cycles >= r.lifecycle.fct_p50_cycles);
+        // Drain invariants: no live slots, no leaked FlowDirector entries.
+        assert_eq!(r.lifecycle.final_live_flows, 0, "{:?}", r.lifecycle);
+        assert_eq!(r.lifecycle.final_table_entries, 0, "{:?}", r.lifecycle);
+        assert!(r.metrics.bytes_moved > 0);
+        assert!(r.metrics.interrupts > 0);
+    }
+
+    #[test]
+    fn churn_poll_run_completes_and_drains() {
+        let config =
+            ExperimentConfig::churn(4, 24, SteerSpec::flow_director(), DataplaneMode::Poll).quick();
+        let r = run_experiment(&config).unwrap();
+        assert!(r.lifecycle.accepts > 0, "{:?}", r.lifecycle);
+        assert!(r.lifecycle.completes > 0, "{:?}", r.lifecycle);
+        assert_eq!(r.lifecycle.final_live_flows, 0, "{:?}", r.lifecycle);
+        assert_eq!(r.lifecycle.final_table_entries, 0, "{:?}", r.lifecycle);
+        // Kernel bypass stays bypassed under churn.
+        assert_eq!(r.metrics.interrupts, 0);
+        assert_eq!(r.metrics.clears_by_reason.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic() {
+        for plane in [DataplaneMode::Interrupt, DataplaneMode::Poll] {
+            let config = ExperimentConfig::churn(4, 24, SteerSpec::flow_director(), plane).quick();
+            let a = run_experiment(&config).unwrap();
+            let b = run_experiment(&config).unwrap();
+            assert_eq!(a.metrics, b.metrics, "{plane:?}");
+            assert_eq!(a.lifecycle, b.lifecycle, "{plane:?}");
+            assert_eq!(a.steer, b.steer, "{plane:?}");
+        }
+    }
+
+    #[test]
+    fn churn_rss_run_reports_no_table() {
+        let mut spec = SteerSpec::flow_director();
+        spec.dynamic = crate::steer::DynamicSteer::Off;
+        let config = ExperimentConfig::churn(4, 24, spec, DataplaneMode::Interrupt).quick();
+        let r = run_experiment(&config).unwrap();
+        assert!(r.lifecycle.completes > 0);
+        assert_eq!(r.lifecycle.final_live_flows, 0);
+        // RSS keeps no per-flow table; the occupancy probe reports zero.
+        assert_eq!(r.lifecycle.final_table_entries, 0);
+    }
+
+    #[test]
+    fn immortal_workloads_report_zero_lifecycle() {
+        let config = ExperimentConfig::paper_sut(Direction::Tx, 1024, AffinityMode::Irq).quick();
+        let r = run_experiment(&config).unwrap();
+        assert_eq!(r.lifecycle, LifecycleCounters::default());
     }
 }

@@ -56,11 +56,11 @@ mod workload;
 
 pub use experiment::{run_experiment, DataplaneConfig, DataplaneMode, ExperimentConfig, RunResult};
 pub use machine::{should_trace, Machine};
-pub use metrics::{BinBreakdown, RunMetrics};
+pub use metrics::{BinBreakdown, LifecycleCounters, RunMetrics};
 pub use mode::AffinityMode;
 pub use ready::ReadyCpus;
 pub use sim_net::CoalesceConfig;
 pub use steer::{
     DynamicSteer, FlowPlacement, SteerDecision, SteerSpec, SteeringPolicy, VectorLayout,
 };
-pub use workload::{Direction, Workload, PAPER_SIZES};
+pub use workload::{Direction, ServerWorkload, Workload, PAPER_SIZES};

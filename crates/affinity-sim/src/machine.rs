@@ -26,14 +26,14 @@ use sim_mem::MemorySystem;
 use sim_net::{Nic, Peer, PeerConfig};
 use sim_os::{CpuMask, IoApic, IpiFabric, IpiKind, PmdCore, Scheduler, SchedulerConfig};
 use sim_prof::{FuncId, PollCounters, Profiler, SteerCounters};
-use sim_tcp::{Bin, ExecCtx, TcpStack};
+use sim_tcp::{Bin, ConnState, ExecCtx, TcpStack};
 
 use crate::experiment::{DataplaneMode, ExperimentConfig};
-use crate::metrics::{BinBreakdown, RunMetrics};
+use crate::metrics::{BinBreakdown, LifecycleCounters, RunMetrics};
 use crate::poll::{PollPlane, RxDesc, TxDesc};
 use crate::ready::ReadyCpus;
 use crate::steer::{even_home, SteeringPolicy};
-use crate::workload::Direction;
+use crate::workload::{Direction, ServerWorkload};
 
 /// True when run-loop iteration `guard` should emit a trace line: every
 /// power of two (dense coverage early, when wedges usually happen) plus
@@ -65,6 +65,72 @@ enum Event {
     IrqRotate,
     /// Periodic scheduler load balancing.
     LoadBalance,
+    /// A client opens a new connection (server workload): a SYN reaches
+    /// whatever queue the allocated flow slot rides.
+    ConnArrival,
+    /// The client's ACK of our FIN arrives (server workload teardown).
+    FinAckArrival { flow: usize },
+}
+
+/// All dynamic-connection state of a server-workload run. `None` for the
+/// immortal-flow `ttcp` workloads — every field here is dead weight on
+/// those paths, so the whole thing lives behind one boxed option.
+#[derive(Debug)]
+struct ServerState {
+    workload: ServerWorkload,
+    /// Connection arrivals scheduled so far (client retries after a
+    /// dropped SYN re-use their original arrival's budget).
+    scheduled: u64,
+    /// Serial number stamped on the next admitted connection — drives
+    /// the deterministic mice/elephant response mix.
+    serial: u64,
+    /// Lifetime lifecycle counters.
+    accepts: u64,
+    completes: u64,
+    backlog_drops: u64,
+    /// Measurement-window lifecycle counters.
+    window_accepts: u64,
+    window_completes: u64,
+    /// Per-slot scratch, indexed by flow slot (reset at each
+    /// incarnation's admission).
+    syn_pending: Vec<bool>,
+    finack_pending: Vec<bool>,
+    request_remaining: Vec<u64>,
+    response_remaining: Vec<u64>,
+    conn_bytes: Vec<u64>,
+    started_at: Vec<u64>,
+    /// Flow-completion-time samples (SYN arrival → teardown complete)
+    /// from the measurement window.
+    fct: Vec<u64>,
+    /// Flows with work staged for their queue's next bottom half — the
+    /// server-mode replacement for scanning every flow of a queue.
+    queue_pending: Vec<Vec<usize>>,
+    in_pending: Vec<bool>,
+}
+
+/// One drained poll-mode rx burst, classified by descriptor type.
+#[derive(Debug, Default)]
+struct PollBurst {
+    /// Per flow: completed tx descriptors.
+    txdone: Vec<(usize, u32)>,
+    /// Per flow: segments acknowledged.
+    acks: Vec<(usize, u32)>,
+    /// Per flow: received frame sizes.
+    data: Vec<(usize, Vec<u32>)>,
+    /// Flows with an arriving SYN.
+    syns: Vec<usize>,
+    /// Flows with a FIN-ACK completing teardown.
+    finacks: Vec<usize>,
+}
+
+impl PollBurst {
+    fn is_empty(&self) -> bool {
+        self.txdone.is_empty()
+            && self.acks.is_empty()
+            && self.data.is_empty()
+            && self.syns.is_empty()
+            && self.finacks.is_empty()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +188,15 @@ pub struct Machine {
     /// [`Machine::run_poll`] and none of the interrupt/scheduler
     /// machinery ever fires.
     poll: Option<PollPlane>,
+
+    /// Dynamic connection lifecycle — `Some` only for server workloads,
+    /// where `connections` is a slot-arena bound, flows are born on SYN
+    /// and die on FIN-ACK, and process context is charged directly on
+    /// the connection's home CPU instead of through scheduler tasks.
+    server: Option<Box<ServerState>>,
+    /// Whether consumer processing pins to each queue's even-spread home
+    /// CPU (the spec's `pin_processes`, cached for server-mode charging).
+    pin_processes: bool,
 
     tasks: Vec<TaskRun>,
     task_of_conn: Vec<usize>,
@@ -240,7 +315,7 @@ impl Machine {
                 nics[queue_nic[q]].rx_buffers(queue_local[q])
             })
             .collect();
-        let stack = TcpStack::new(
+        let mut stack = TcpStack::new(
             config.stack.clone(),
             &mut mem,
             &dma_regions,
@@ -322,6 +397,32 @@ impl Machine {
             None
         };
 
+        // Server workloads: the arena starts empty (every slot in the
+        // free list), the stack listens with the workload's backlog, and
+        // all lifecycle bookkeeping is per-slot.
+        let server = config.server.map(|workload| {
+            stack.listen(workload.backlog);
+            Box::new(ServerState {
+                workload,
+                scheduled: 0,
+                serial: 0,
+                accepts: 0,
+                completes: 0,
+                backlog_drops: 0,
+                window_accepts: 0,
+                window_completes: 0,
+                syn_pending: vec![false; flows],
+                finack_pending: vec![false; flows],
+                request_remaining: vec![0; flows],
+                response_remaining: vec![0; flows],
+                conn_bytes: vec![0; flows],
+                started_at: vec![0; flows],
+                fct: Vec::new(),
+                queue_pending: vec![Vec::new(); total_queues],
+                in_pending: vec![false; flows],
+            })
+        });
+
         Ok(Machine {
             mem,
             cores,
@@ -343,6 +444,8 @@ impl Machine {
             steering,
             steer_stats: SteerCounters::default(),
             poll,
+            server,
+            pin_processes: spec.pin_processes,
             tasks,
             task_of_conn,
             last_task_on: vec![None; cpus],
@@ -398,9 +501,10 @@ impl Machine {
             Event::FrameArrival { flow, .. }
             | Event::AckArrival { flow, .. }
             | Event::WireTx { flow, .. }
-            | Event::RtoFire { flow, .. } => self.flow_queue[flow],
+            | Event::RtoFire { flow, .. }
+            | Event::FinAckArrival { flow } => self.flow_queue[flow],
             Event::CoalesceFlush { queue, .. } => queue,
-            Event::IrqRotate | Event::LoadBalance => return self.config.cpus,
+            Event::ConnArrival | Event::IrqRotate | Event::LoadBalance => return self.config.cpus,
         };
         self.apic.route(self.vectors[queue]).index()
     }
@@ -439,7 +543,11 @@ impl Machine {
         if self.poll.is_some() {
             return self.run_poll();
         }
-        self.seed_initial_work();
+        if self.server.is_some() {
+            self.seed_server_work();
+        } else {
+            self.seed_initial_work();
+        }
         let mut guard: u64 = 0;
         let guard_limit = self.guard_limit();
         // Probing the environment takes a lock and scans `environ`; do it
@@ -501,6 +609,12 @@ impl Machine {
     }
 
     fn guard_limit(&self) -> u64 {
+        if let Some(srv) = &self.server {
+            // Each connection is bounded by a few dozen loop iterations
+            // (SYN, accept, request frames, response segments, ACKs,
+            // FIN, drop retries); 50k per connection is wedge detection.
+            return 50_000 * srv.workload.total_conns() + 1_000_000;
+        }
         // Generous: every message costs well under 10k loop iterations.
         let msgs = u64::from(self.config.workload.warmup_messages)
             + u64::from(self.config.workload.measure_messages);
@@ -524,7 +638,9 @@ impl Machine {
     /// core is spun forward to the last message time so burned cores are
     /// priced over the whole measurement window.
     fn run_poll(&mut self) -> RunMetrics {
-        if self.config.workload.direction == Direction::Rx {
+        if self.server.is_some() {
+            self.seed_server_work();
+        } else if self.config.workload.direction == Direction::Rx {
             for ti in 0..self.tasks.len() {
                 self.tasks[ti].blocked = Some(BlockReason::RxData);
             }
@@ -583,7 +699,10 @@ impl Machine {
         let mut best: Option<(u64, usize)> = None;
         for c in 0..self.config.cpus {
             let mut at = plane.next_rx_at(c);
-            if self.config.workload.direction == Direction::Tx
+            // Server-mode sends happen inline with batch processing, so
+            // rings are the only work source there — skip the TX scan.
+            if self.server.is_none()
+                && self.config.workload.direction == Direction::Tx
                 && plane.cores[c]
                     .queues()
                     .iter()
@@ -661,9 +780,7 @@ impl Machine {
         for &q in &queues {
             // Drain one rx burst. Everything enqueued is observable:
             // events at or before t0 have already been processed.
-            let mut txdone: Vec<(usize, u32)> = Vec::new(); // (flow, count)
-            let mut acks: Vec<(usize, u32)> = Vec::new(); // (flow, segments)
-            let mut data: Vec<(usize, Vec<u32>)> = Vec::new(); // (flow, frames)
+            let mut b = PollBurst::default();
             {
                 let plane = self.poll.as_mut().expect("poll mode");
                 for _ in 0..burst {
@@ -673,37 +790,40 @@ impl Machine {
                     }
                     match desc {
                         RxDesc::TxDone { flow, .. } => {
-                            match txdone.iter_mut().find(|e| e.0 == flow) {
+                            match b.txdone.iter_mut().find(|e| e.0 == flow) {
                                 Some(e) => e.1 += 1,
-                                None => txdone.push((flow, 1)),
+                                None => b.txdone.push((flow, 1)),
                             }
                         }
                         RxDesc::Ack { flow, acked, .. } => {
-                            match acks.iter_mut().find(|e| e.0 == flow) {
+                            match b.acks.iter_mut().find(|e| e.0 == flow) {
                                 Some(e) => e.1 += acked,
-                                None => acks.push((flow, acked)),
+                                None => b.acks.push((flow, acked)),
                             }
                         }
                         RxDesc::Data { flow, bytes, .. } => {
-                            match data.iter_mut().find(|e| e.0 == flow) {
+                            match b.data.iter_mut().find(|e| e.0 == flow) {
                                 Some(e) => e.1.push(bytes),
-                                None => data.push((flow, vec![bytes])),
+                                None => b.data.push((flow, vec![bytes])),
                             }
                         }
+                        RxDesc::Syn { flow, .. } => b.syns.push(flow),
+                        RxDesc::FinAck { flow, .. } => b.finacks.push(flow),
                     }
                 }
             }
-            if !(txdone.is_empty() && acks.is_empty() && data.is_empty()) {
+            if !b.is_empty() {
                 found_work = true;
-                self.poll_process_batch(c, q, &txdone, &acks, &data);
+                self.poll_process_batch(c, q, &b);
                 if self.done {
                     return;
                 }
             }
         }
         // TX: after completions opened window room (or on the very first
-        // iteration), push more segments for this core's flows.
-        if self.config.workload.direction == Direction::Tx {
+        // iteration), push more segments for this core's flows. Server
+        // responses are pushed inline by the batch processing instead.
+        if self.server.is_none() && self.config.workload.direction == Direction::Tx {
             for &q in &queues {
                 for i in 0..self.queue_flows[q].len() {
                     let flow = self.queue_flows[q][i];
@@ -730,34 +850,34 @@ impl Machine {
     /// in ascending-flow order like the NAPI bottom half — but with no
     /// IPI to a remote process CPU and no scheduler wakeup: the consumer
     /// runs inline, here.
-    fn poll_process_batch(
-        &mut self,
-        c: usize,
-        queue: usize,
-        txdone: &[(usize, u32)],
-        acks: &[(usize, u32)],
-        data: &[(usize, Vec<u32>)],
-    ) {
+    fn poll_process_batch(&mut self, c: usize, queue: usize, burst: &PollBurst) {
         let cpu = CpuId::new(c as u32);
         let nic = self.queue_nic[queue];
         let local = self.queue_local[queue];
-        let mut flows: Vec<usize> = txdone
+        let mut flows: Vec<usize> = burst
+            .txdone
             .iter()
             .map(|e| e.0)
-            .chain(acks.iter().map(|e| e.0))
-            .chain(data.iter().map(|e| e.0))
+            .chain(burst.acks.iter().map(|e| e.0))
+            .chain(burst.data.iter().map(|e| e.0))
+            .chain(burst.syns.iter().copied())
+            .chain(burst.finacks.iter().copied())
             .collect();
         flows.sort_unstable();
         flows.dedup();
         for flow in flows {
             let conn_id = ConnectionId::new(flow as u32);
-            let done = txdone.iter().find(|e| e.0 == flow).map_or(0, |e| e.1);
-            let acked = acks.iter().find(|e| e.0 == flow).map_or(0, |e| e.1);
-            let frames: &[u32] = data
+            let done = burst.txdone.iter().find(|e| e.0 == flow).map_or(0, |e| e.1);
+            let acked = burst.acks.iter().find(|e| e.0 == flow).map_or(0, |e| e.1);
+            let frames: &[u32] = burst
+                .data
                 .iter()
                 .find(|e| e.0 == flow)
                 .map_or(&[], |e| e.1.as_slice());
+            let syn = burst.syns.contains(&flow);
+            let finack = burst.finacks.contains(&flow);
             let before = self.cores[c].busy_cycles();
+            let mut syn_queued = false;
             {
                 let mut ctx = ExecCtx::new(
                     &mut self.cores[c],
@@ -772,10 +892,16 @@ impl Machine {
                 if acked > 0 {
                     self.stack.rx_ack(&mut ctx, conn_id, acked, false);
                 }
+                if syn {
+                    syn_queued = self.stack.on_syn(&mut ctx, conn_id, false).queued;
+                }
                 if !frames.is_empty() {
                     let rx_ring = self.nics[nic].rx_ring(local);
                     self.stack
                         .rx_bottom_half(&mut ctx, conn_id, frames, rx_ring, false);
+                }
+                if finack {
+                    self.stack.on_fin_ack(&mut ctx, conn_id, false);
                 }
             }
             if !frames.is_empty() {
@@ -789,6 +915,21 @@ impl Machine {
             counters.rx_frames += frames.len() as u64;
             self.last_softirq_cpu[flow] = Some(cpu);
             self.last_process_cpu[flow] = Some(cpu);
+            if self.server.is_some() {
+                // Run to completion, lifecycle included: accept, consume
+                // the request, push response segments and the FIN, and
+                // retire the connection — all inline on this core.
+                if syn && !syn_queued {
+                    let now = self.clocks[c];
+                    self.server_syn_drop(flow, now);
+                    continue;
+                }
+                self.server_flow_progress(c, queue, flow, syn && syn_queued, finack);
+                if self.done {
+                    return;
+                }
+                continue;
+            }
             // Run to completion: the application consumes right here.
             if self.config.workload.direction == Direction::Rx && !frames.is_empty() {
                 self.poll_consume_rx(c, flow);
@@ -990,6 +1131,19 @@ impl Machine {
                     .unwrap_or_else(|_| {
                         panic!("poll rx ring overflow on queue {queue} — sizing invariant violated")
                     });
+                if self.server.is_some() && bytes == 0 {
+                    // The zero-byte segment is the FIN (server teardown):
+                    // the client ACKs it one RTT out; no data-ACK logic.
+                    let jitter = self
+                        .rng
+                        .exponential(self.config.tunables.rtt_cycles as f64 / 4.0)
+                        as u64;
+                    self.push_event(
+                        t + self.config.tunables.rtt_cycles + jitter,
+                        Event::FinAckArrival { flow },
+                    );
+                    return;
+                }
                 if bytes > 0 && self.rng.chance(self.config.tunables.loss_rate) {
                     self.push_event(
                         t + self.config.tunables.rto_cycles,
@@ -1035,6 +1189,45 @@ impl Machine {
                 let at = self.wire_cursor[flow].max(self.clocks[c]) + self.wire_time(bytes);
                 self.wire_cursor[flow] = at;
                 self.push_event(at, Event::WireTx { flow, bytes });
+            }
+            Event::ConnArrival => {
+                let Some(flow) = self.server_admit(t) else {
+                    return;
+                };
+                let queue = self.flow_queue[flow];
+                self.nics[self.queue_nic[queue]].dma_rx_frame_polled(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    66,
+                );
+                let plane = self.poll.as_mut().expect("poll mode");
+                assert!(
+                    plane.pool[queue].try_alloc(),
+                    "poll mempool exhausted on queue {queue} — sizing invariant violated"
+                );
+                plane.rx[queue]
+                    .push(RxDesc::Syn { flow, at: t })
+                    .unwrap_or_else(|_| {
+                        panic!("poll rx ring overflow on queue {queue} — sizing invariant violated")
+                    });
+            }
+            Event::FinAckArrival { flow } => {
+                let queue = self.flow_queue[flow];
+                self.nics[self.queue_nic[queue]].dma_rx_frame_polled(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    66,
+                );
+                let plane = self.poll.as_mut().expect("poll mode");
+                assert!(
+                    plane.pool[queue].try_alloc(),
+                    "poll mempool exhausted on queue {queue} — sizing invariant violated"
+                );
+                plane.rx[queue]
+                    .push(RxDesc::FinAck { flow, at: t })
+                    .unwrap_or_else(|_| {
+                        panic!("poll rx ring overflow on queue {queue} — sizing invariant violated")
+                    });
             }
             Event::CoalesceFlush { .. } | Event::IrqRotate | Event::LoadBalance => {
                 unreachable!("interrupt-plane event {event:?} scheduled under the poll dataplane")
@@ -1101,6 +1294,80 @@ impl Machine {
                     self.refill_peer_window(f, 0);
                 }
             }
+        }
+    }
+
+    /// Seeds a server-workload run: periodic timers (interrupt plane
+    /// only), every scheduler task parked forever — server process
+    /// context is charged directly on the connection's home CPU — and an
+    /// open-loop wave of connection arrivals with exponential gaps.
+    fn seed_server_work(&mut self) {
+        if self.poll.is_none() {
+            if self.config.tunables.balance_interval_cycles > 0 {
+                self.push_event(
+                    self.config.tunables.balance_interval_cycles,
+                    Event::LoadBalance,
+                );
+            }
+            if self.config.tunables.irq_rotation_cycles > 0 {
+                self.push_event(self.config.tunables.irq_rotation_cycles, Event::IrqRotate);
+            }
+        }
+        for ti in 0..self.tasks.len() {
+            self.tasks[ti].blocked = Some(BlockReason::RxData);
+        }
+        let (total, gap) = {
+            let srv = self.server.as_ref().expect("server mode");
+            (srv.workload.total_conns(), srv.workload.arrival_gap_cycles)
+        };
+        let slots = self.config.connections as u64;
+        // Overbook the initial wave by an eighth so the SYN-drop/retry
+        // path is exercised deterministically: the first `slots`
+        // arrivals fill the arena, the excess retry after the client's
+        // RTO. Later arrivals are closed-loop replacements (one per
+        // completion), which cannot contend for slots on their own.
+        let initial = total.min(slots + (slots / 8).max(1));
+        let mut at = 0u64;
+        for _ in 0..initial {
+            at += self.rng.exponential(gap as f64) as u64;
+            self.push_event(at, Event::ConnArrival);
+        }
+        self.server.as_mut().expect("server mode").scheduled = initial;
+    }
+
+    /// Admits one arriving connection: allocates an arena slot, stamps
+    /// the incarnation's serial and request/response sizes, and returns
+    /// the slot — or counts a drop and schedules the client's SYN
+    /// retransmission.
+    fn server_admit(&mut self, t: u64) -> Option<usize> {
+        let Some(conn) = self.stack.flow_alloc() else {
+            let srv = self.server.as_mut().expect("server mode");
+            srv.backlog_drops += 1;
+            self.push_event(t + self.config.tunables.rto_cycles, Event::ConnArrival);
+            return None;
+        };
+        let flow = conn.index();
+        let srv = self.server.as_mut().expect("server mode");
+        let serial = srv.serial;
+        srv.serial += 1;
+        srv.request_remaining[flow] = srv.workload.request_bytes;
+        srv.response_remaining[flow] = srv.workload.response_for(serial);
+        srv.conn_bytes[flow] = srv.request_remaining[flow] + srv.response_remaining[flow];
+        srv.started_at[flow] = t;
+        srv.syn_pending[flow] = false;
+        srv.finack_pending[flow] = false;
+        Some(flow)
+    }
+
+    /// Stages `flow` for its queue's next bottom half (server mode): the
+    /// pending list replaces the legacy every-flow-of-the-queue scan,
+    /// which is quadratic at 100k concurrent connections.
+    fn server_mark_pending(&mut self, flow: usize) {
+        let queue = self.flow_queue[flow];
+        let srv = self.server.as_mut().expect("server mode");
+        if !srv.in_pending[flow] {
+            srv.in_pending[flow] = true;
+            srv.queue_pending[queue].push(flow);
         }
     }
 
@@ -1319,6 +1586,9 @@ impl Machine {
                     t,
                 );
                 self.flow_rx_pending[flow].push(bytes);
+                if self.server.is_some() {
+                    self.server_mark_pending(flow);
+                }
                 self.nic_activity[queue] = t;
                 if raise {
                     self.deliver_interrupt(queue, t + self.config.tunables.irq_latency_cycles);
@@ -1336,6 +1606,9 @@ impl Machine {
                 );
                 self.flow_ack_pending[flow] += acked;
                 self.flow_ack_frames[flow] += 1;
+                if self.server.is_some() {
+                    self.server_mark_pending(flow);
+                }
                 self.nic_activity[queue] = t;
                 if raise {
                     self.deliver_interrupt(queue, t + self.config.tunables.irq_latency_cycles);
@@ -1358,11 +1631,27 @@ impl Machine {
                     t,
                 );
                 self.flow_txdone_pending[flow] += 1;
+                if self.server.is_some() {
+                    self.server_mark_pending(flow);
+                }
                 self.nic_activity[queue] = t;
                 if raise {
                     self.deliver_interrupt(queue, t + self.config.tunables.irq_latency_cycles);
                 } else {
                     self.arm_flush(queue, t);
+                }
+                if self.server.is_some() && bytes == 0 {
+                    // The zero-byte segment is the FIN (server teardown):
+                    // the client ACKs it one RTT out; no data-ACK logic.
+                    let jitter = self
+                        .rng
+                        .exponential(self.config.tunables.rtt_cycles as f64 / 4.0)
+                        as u64;
+                    self.push_event(
+                        t + self.config.tunables.rtt_cycles + jitter,
+                        Event::FinAckArrival { flow },
+                    );
+                    return;
                 }
                 if bytes > 0 && self.rng.chance(self.config.tunables.loss_rate) {
                     // Lost on the wire: the peer never sees it; Reno's
@@ -1397,7 +1686,10 @@ impl Machine {
                     if self.nics[self.queue_nic[queue]].flush_coalescing(self.queue_local[queue]) {
                         self.deliver_interrupt(queue, t);
                     }
-                    if self.config.workload.direction == Direction::Tx {
+                    // Server flows ACK every segment (`ack_every == 1`),
+                    // so no delayed-ACK state ever pends there — and the
+                    // scan below is quadratic at 100k flows per machine.
+                    if self.config.workload.direction == Direction::Tx && self.server.is_none() {
                         // Flush the delayed-ACK timers of every flow on
                         // this queue, ascending (one flow per queue on
                         // the paper SUT).
@@ -1472,6 +1764,43 @@ impl Machine {
                     );
                 }
             }
+            Event::ConnArrival => {
+                let Some(flow) = self.server_admit(t) else {
+                    return;
+                };
+                let queue = self.flow_queue[flow];
+                let raise = self.nics[self.queue_nic[queue]].dma_rx_frame(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    66,
+                    t,
+                );
+                self.server.as_mut().expect("server mode").syn_pending[flow] = true;
+                self.server_mark_pending(flow);
+                self.nic_activity[queue] = t;
+                if raise {
+                    self.deliver_interrupt(queue, t + self.config.tunables.irq_latency_cycles);
+                } else {
+                    self.arm_flush(queue, t);
+                }
+            }
+            Event::FinAckArrival { flow } => {
+                let queue = self.flow_queue[flow];
+                let raise = self.nics[self.queue_nic[queue]].dma_rx_frame(
+                    self.queue_local[queue],
+                    &mut self.mem,
+                    66,
+                    t,
+                );
+                self.server.as_mut().expect("server mode").finack_pending[flow] = true;
+                self.server_mark_pending(flow);
+                self.nic_activity[queue] = t;
+                if raise {
+                    self.deliver_interrupt(queue, t + self.config.tunables.irq_latency_cycles);
+                } else {
+                    self.arm_flush(queue, t);
+                }
+            }
         }
     }
 
@@ -1486,11 +1815,19 @@ impl Machine {
             // paper SUT). Reprogramming is a real MSI rewrite: it costs
             // delivery latency and is visible in the APIC's route for
             // subsequent deliveries.
-            let flow = self.queue_flows[queue]
-                .iter()
-                .copied()
-                .find(|&f| self.flow_has_pending(f))
-                .or_else(|| self.queue_flows[queue].first().copied());
+            let flow = if let Some(srv) = &self.server {
+                // Server mode: the pending list already names exactly
+                // the flows with staged work; take the lowest, matching
+                // the legacy ascending scan, without walking the
+                // queue's full (100k-scale) flow population.
+                srv.queue_pending[queue].iter().copied().min()
+            } else {
+                self.queue_flows[queue]
+                    .iter()
+                    .copied()
+                    .find(|&f| self.flow_has_pending(f))
+                    .or_else(|| self.queue_flows[queue].first().copied())
+            };
             if let Some(decision) = flow.and_then(|f| self.steering.steer(f, &mut self.steer_stats))
             {
                 if decision.target != target {
@@ -1529,9 +1866,12 @@ impl Machine {
             - self.config.tunables.clears_per_device_interrupt as u64
                 * self.config.cpu.costs.machine_clear;
 
-        // Bottom half runs right here, on the same CPU.
+        // Bottom half runs right here, on the same CPU. Saturating: a
+        // server-mode completion inside the bottom half can start the
+        // measurement window, which resets the core's counters below
+        // `irq_start`.
         self.run_bottom_half(c, queue);
-        self.irq_cycles[c] += self.cores[c].busy_cycles() - irq_start;
+        self.irq_cycles[c] += self.cores[c].busy_cycles().saturating_sub(irq_start);
 
         // Refresh the scheduler's view of interrupt pressure so wakeup
         // placement steers processes away from interrupt-saturated CPUs.
@@ -1592,6 +1932,24 @@ impl Machine {
     /// the queue in ascending flow order (exactly the single-flow body
     /// on the paper SUT, where each queue carries one connection).
     fn run_bottom_half(&mut self, c: usize, queue: usize) {
+        if self.server.is_some() {
+            // Drain the queue's pending list instead of scanning every
+            // flow — ascending, like the legacy loop.
+            let mut pending = std::mem::take(
+                &mut self.server.as_mut().expect("server mode").queue_pending[queue],
+            );
+            pending.sort_unstable();
+            {
+                let srv = self.server.as_mut().expect("server mode");
+                for &flow in &pending {
+                    srv.in_pending[flow] = false;
+                }
+            }
+            for flow in pending {
+                self.run_flow_bottom_half(c, queue, flow);
+            }
+            return;
+        }
         for i in 0..self.queue_flows[queue].len() {
             let flow = self.queue_flows[queue][i];
             self.run_flow_bottom_half(c, queue, flow);
@@ -1610,8 +1968,16 @@ impl Machine {
         let acked = std::mem::take(&mut self.flow_ack_pending[flow]);
         let ack_frames = std::mem::take(&mut self.flow_ack_frames[flow]);
         let frames = std::mem::take(&mut self.flow_rx_pending[flow]);
+        let (syn, finack) = match self.server.as_mut() {
+            Some(srv) => (
+                std::mem::take(&mut srv.syn_pending[flow]),
+                std::mem::take(&mut srv.finack_pending[flow]),
+            ),
+            None => (false, false),
+        };
 
         let mut wake_consumer = false;
+        let mut syn_queued = false;
         {
             let mut ctx = ExecCtx::new(
                 &mut self.cores[c],
@@ -1626,6 +1992,9 @@ impl Machine {
             if acked > 0 {
                 self.stack.rx_ack(&mut ctx, conn_id, acked, cross);
             }
+            if syn {
+                syn_queued = self.stack.on_syn(&mut ctx, conn_id, cross).queued;
+            }
             if !frames.is_empty() {
                 let rx_ring = self.nics[nic].rx_ring(local);
                 let outcome = self
@@ -1633,9 +2002,16 @@ impl Machine {
                     .rx_bottom_half(&mut ctx, conn_id, &frames, rx_ring, cross);
                 wake_consumer = outcome.wake_consumer;
             }
+            if finack {
+                self.stack.on_fin_ack(&mut ctx, conn_id, cross);
+            }
         }
         if ack_frames > 0 {
             self.nics[nic].reclaim_rx(local, ack_frames);
+        }
+        if syn || finack {
+            // The SYN and FIN-ACK frames each consumed one rx buffer.
+            self.nics[nic].reclaim_rx(local, u32::from(syn) + u32::from(finack));
         }
         if !frames.is_empty() {
             self.nics[nic].reclaim_rx(local, frames.len() as u32);
@@ -1668,6 +2044,18 @@ impl Machine {
             }
         }
 
+        if self.server.is_some() {
+            // Server lifecycle: process context runs now, charged on the
+            // connection's home CPU — no scheduler task to wake.
+            let _ = wake_consumer;
+            if syn && !syn_queued {
+                self.server_syn_drop(flow, now);
+                return;
+            }
+            self.server_flow_progress(c, queue, flow, syn && syn_queued, finack);
+            return;
+        }
+
         // Keep the peer's window full (RX workload).
         if self.config.workload.direction == Direction::Rx && !frames.is_empty() {
             self.refill_peer_window(flow, now);
@@ -1690,6 +2078,317 @@ impl Machine {
         let _ = wake_consumer;
         if should_wake {
             self.wake_task(ti, c, now);
+        }
+    }
+
+    /// The CPU that runs a server connection's process context. With
+    /// pinned processes (`sched_setaffinity`) the worker owning a flow
+    /// slot lives on `slot % cpus` — accept-distributed workers, the
+    /// SO_REUSEPORT shape — which is deliberately *not* a function of
+    /// the flow's hash-placed NIC queue: static RSS then pays a
+    /// persistent vector-home-vs-worker mismatch that a dynamic
+    /// steering policy can close by chasing the consumer. Unpinned,
+    /// the worker runs wherever the softirq just ran. Poll mode always
+    /// runs to completion on the owning PMD core.
+    fn server_proc_cpu(&self, flow: usize, softirq_cpu: usize) -> usize {
+        if self.poll.is_none() && self.pin_processes {
+            flow % self.config.cpus
+        } else {
+            softirq_cpu
+        }
+    }
+
+    /// Charges one process-context stack operation on CPU `pc`, pulling
+    /// its clock forward to `from` first (the softirq that staged the
+    /// work has already finished there).
+    fn server_charge<R>(
+        &mut self,
+        pc: usize,
+        from: u64,
+        f: impl FnOnce(&mut TcpStack, &mut ExecCtx<'_>) -> R,
+    ) -> R {
+        self.clocks[pc] = self.clocks[pc].max(from);
+        let before = self.cores[pc].busy_cycles();
+        let r = {
+            let mut ctx = ExecCtx::new(
+                &mut self.cores[pc],
+                &mut self.mem,
+                &mut self.prof,
+                &mut self.rng,
+            );
+            f(&mut self.stack, &mut ctx)
+        };
+        let delta = self.cores[pc].busy_cycles() - before;
+        self.clocks[pc] += delta;
+        if let Some(plane) = self.poll.as_mut() {
+            plane.counters[pc].work_cycles += delta;
+        }
+        r
+    }
+
+    /// The stack refused a SYN (listen backlog full): free the slot the
+    /// arrival held and schedule the client's retransmission.
+    fn server_syn_drop(&mut self, flow: usize, now: u64) {
+        self.stack.flow_free(ConnectionId::new(flow as u32));
+        self.server.as_mut().expect("server mode").backlog_drops += 1;
+        self.push_event(now + self.config.tunables.rto_cycles, Event::ConnArrival);
+    }
+
+    /// Everything a server connection does outside the softirq: accept,
+    /// consume the request, push response segments and the FIN as
+    /// windows allow, and retire the connection after its FIN is ACKed.
+    fn server_flow_progress(
+        &mut self,
+        c: usize,
+        queue: usize,
+        flow: usize,
+        accepted: bool,
+        closed: bool,
+    ) {
+        if closed {
+            let now = self.clocks[c];
+            self.server_complete(flow, now);
+            return;
+        }
+        if accepted {
+            self.server_accept(c, flow);
+        }
+        if self.stack.conn_state(ConnectionId::new(flow as u32)) == ConnState::Established {
+            self.server_consume_request(c, flow);
+            self.server_pump_response(c, queue, flow);
+        }
+    }
+
+    /// `accept()` on the connection's process CPU: transitions the
+    /// connection to ESTABLISHED, installs its steering-table entry, and
+    /// starts the client's request one RTT out.
+    fn server_accept(&mut self, c: usize, flow: usize) {
+        let conn_id = ConnectionId::new(flow as u32);
+        let pc = self.server_proc_cpu(flow, c);
+        let cpu = CpuId::new(pc as u32);
+        let cross = pc != c;
+        let now = self.clocks[c];
+        self.server_charge(pc, now, |stack, ctx| {
+            stack.accept(ctx, conn_id, cross);
+        });
+        self.last_process_cpu[flow] = Some(cpu);
+        self.steering.flow_opened(flow, cpu, &mut self.steer_stats);
+        let measuring = self.measuring;
+        let srv = self.server.as_mut().expect("server mode");
+        srv.accepts += 1;
+        if measuring {
+            srv.window_accepts += 1;
+        }
+        self.server_schedule_request(flow, now);
+    }
+
+    /// Schedules the client's request frames on the wire, one RTT (plus
+    /// jitter) after the SYN-ACK.
+    fn server_schedule_request(&mut self, flow: usize, now: u64) {
+        let request = self
+            .server
+            .as_ref()
+            .expect("server mode")
+            .workload
+            .request_bytes;
+        let mss = u64::from(self.config.stack.mss);
+        let rtt = self.config.tunables.rtt_cycles;
+        let jitter = self.rng.exponential(rtt as f64 / 4.0) as u64;
+        let mut at = self.wire_cursor[flow].max(now + rtt + jitter);
+        let mut left = request;
+        while left > 0 {
+            let chunk = left.min(mss) as u32;
+            left -= u64::from(chunk);
+            at += self.wire_time(chunk);
+            self.peer_inflight[flow] += 1;
+            self.push_event(at, Event::FrameArrival { flow, bytes: chunk });
+        }
+        self.wire_cursor[flow] = at;
+    }
+
+    /// `recvmsg` loop on the process CPU, consuming whatever request
+    /// bytes the softirq queued.
+    fn server_consume_request(&mut self, c: usize, flow: usize) {
+        let conn_id = ConnectionId::new(flow as u32);
+        loop {
+            let want = self.server.as_ref().expect("server mode").request_remaining[flow];
+            if want == 0 || self.stack.rx_available(conn_id) == 0 {
+                return;
+            }
+            let pc = self.server_proc_cpu(flow, c);
+            let cpu = CpuId::new(pc as u32);
+            let cross = self.last_softirq_cpu[flow].is_some_and(|s| s != cpu);
+            let now = self.clocks[c];
+            let got = self.server_charge(pc, now, |stack, ctx| {
+                stack.recvmsg(ctx, conn_id, want, cross)
+            });
+            self.last_process_cpu[flow] = Some(cpu);
+            self.steering.consumer_ran(flow, cpu, &mut self.steer_stats);
+            if got == 0 {
+                return;
+            }
+            let srv = self.server.as_mut().expect("server mode");
+            srv.request_remaining[flow] = srv.request_remaining[flow].saturating_sub(got);
+        }
+    }
+
+    /// Submits response segments as send-buffer and congestion-window
+    /// room allows; once the response is fully submitted and every
+    /// segment is ACKed, sends the FIN.
+    fn server_pump_response(&mut self, c: usize, queue: usize, flow: usize) {
+        let conn_id = ConnectionId::new(flow as u32);
+        {
+            let srv = self.server.as_ref().expect("server mode");
+            if srv.request_remaining[flow] > 0 {
+                return; // request still in flight from the client
+            }
+        }
+        let remaining = self
+            .server
+            .as_ref()
+            .expect("server mode")
+            .response_remaining[flow];
+        if remaining > 0 {
+            let mss = u64::from(self.config.stack.mss);
+            let buf_free = self
+                .config
+                .tunables
+                .send_buf_segments
+                .saturating_sub(self.stack.tx_inflight(conn_id));
+            let cwnd_free = self
+                .stack
+                .tx_window(conn_id)
+                .saturating_sub(self.stack.tx_unacked(conn_id));
+            let chunk = (u64::from(buf_free.min(cwnd_free)) * mss).min(remaining);
+            if chunk == 0 {
+                return; // window closed; the next ACK/TxDone reopens it
+            }
+            let pc = self.server_proc_cpu(flow, c);
+            let cpu = CpuId::new(pc as u32);
+            let cross = self.last_softirq_cpu[flow].is_some_and(|s| s != cpu);
+            let now = self.clocks[c];
+            let nic = self.queue_nic[queue];
+            let local = self.queue_local[queue];
+            let tx_ring = self.nics[nic].tx_ring(local);
+            let segs = self.server_charge(pc, now, |stack, ctx| {
+                let segs = stack.sendmsg(ctx, conn_id, chunk, cross);
+                for (i, &seg) in segs.iter().enumerate() {
+                    stack.driver_tx(ctx, conn_id, tx_ring, i as u64, seg);
+                }
+                segs
+            });
+            self.last_process_cpu[flow] = Some(cpu);
+            self.steering.consumer_ran(flow, cpu, &mut self.steer_stats);
+            let sent_at = self.clocks[pc];
+            let mut cursor = self.wire_cursor[flow].max(sent_at);
+            for &seg in &segs {
+                cursor += self.wire_time(seg);
+                self.push_event(cursor, Event::WireTx { flow, bytes: seg });
+            }
+            self.wire_cursor[flow] = cursor;
+            let srv = self.server.as_mut().expect("server mode");
+            srv.response_remaining[flow] -= chunk;
+            return;
+        }
+        // Response fully submitted: FIN once the retransmission queue
+        // drains (no in-flight or unACKed segments left).
+        if self.stack.conn_state(conn_id) == ConnState::Established
+            && self.stack.tx_unacked(conn_id) == 0
+            && self.stack.tx_inflight(conn_id) == 0
+        {
+            let pc = self.server_proc_cpu(flow, c);
+            let cpu = CpuId::new(pc as u32);
+            let cross = self.last_softirq_cpu[flow].is_some_and(|s| s != cpu);
+            let now = self.clocks[c];
+            self.server_charge(pc, now, |stack, ctx| {
+                stack.send_fin(ctx, conn_id, cross);
+            });
+            self.last_process_cpu[flow] = Some(cpu);
+            let at = self.wire_cursor[flow].max(self.clocks[pc]) + self.wire_time(0);
+            self.wire_cursor[flow] = at;
+            self.push_event(at, Event::WireTx { flow, bytes: 0 });
+        }
+    }
+
+    /// The FIN-ACK arrived and the stack closed the connection: tear
+    /// down steering state, free the slot, record the completion, and
+    /// keep the open loop fed.
+    fn server_complete(&mut self, flow: usize, now: u64) {
+        let conn_id = ConnectionId::new(flow as u32);
+        debug_assert_eq!(self.stack.conn_state(conn_id), ConnState::Closed);
+        self.steering.flow_closed(flow, &mut self.steer_stats);
+        self.stack.flow_free(conn_id);
+        // Drop leftover client delayed-ACK state so the slot's next
+        // incarnation starts clean.
+        let _ = self.peers[flow].flush_ack();
+        let measuring = self.measuring;
+        let (completes, warmup, total, needs_replacement, bytes) = {
+            let srv = self.server.as_mut().expect("server mode");
+            srv.completes += 1;
+            if measuring {
+                srv.window_completes += 1;
+                srv.fct.push(now.saturating_sub(srv.started_at[flow]));
+            }
+            (
+                srv.completes,
+                srv.workload.warmup_conns,
+                srv.workload.total_conns(),
+                srv.scheduled < srv.workload.total_conns(),
+                srv.conn_bytes[flow],
+            )
+        };
+        self.total_messages += 1;
+        if measuring {
+            self.measured_messages += 1;
+            self.bytes_moved += bytes;
+            self.last_message_time = now;
+        }
+        if !self.measuring && completes >= warmup {
+            self.begin_measurement(now);
+        }
+        if completes >= total {
+            self.done = true;
+        }
+        if needs_replacement && !self.done {
+            let gap = self
+                .server
+                .as_ref()
+                .expect("server mode")
+                .workload
+                .arrival_gap_cycles;
+            let at = now + self.rng.exponential(gap as f64) as u64;
+            self.server.as_mut().expect("server mode").scheduled += 1;
+            self.push_event(at, Event::ConnArrival);
+        }
+    }
+
+    /// Lifecycle counters of the finished run (all zero for the
+    /// immortal-flow workloads): window accepts/completes, lifetime SYN
+    /// drops, flow-completion-time percentiles, and the drain state —
+    /// live slots and steering-table occupancy, both zero after a fully
+    /// drained churn run.
+    #[must_use]
+    pub fn lifecycle_stats(&self) -> LifecycleCounters {
+        let Some(srv) = self.server.as_ref() else {
+            return LifecycleCounters::default();
+        };
+        let mut fct = srv.fct.clone();
+        fct.sort_unstable();
+        let pct = |p: u64| -> u64 {
+            if fct.is_empty() {
+                0
+            } else {
+                fct[((fct.len() as u64 - 1) * p / 100) as usize]
+            }
+        };
+        LifecycleCounters {
+            accepts: srv.window_accepts,
+            completes: srv.window_completes,
+            backlog_drops: srv.backlog_drops,
+            fct_p50_cycles: pct(50),
+            fct_p99_cycles: pct(99),
+            final_live_flows: self.stack.live_flows() as u64,
+            final_table_entries: self.steering.occupancy().map_or(0, |(occ, _)| occ as u64),
         }
     }
 
@@ -1761,6 +2460,11 @@ impl Machine {
         }
         if let Some(plane) = &mut self.poll {
             plane.reset_counters();
+        }
+        if let Some(srv) = &mut self.server {
+            srv.window_accepts = 0;
+            srv.window_completes = 0;
+            srv.fct.clear();
         }
     }
 

@@ -14,6 +14,38 @@ pub struct BinBreakdown {
     pub counters: PerfCounters,
 }
 
+/// Connection-lifecycle counters of a server-workload run (all zero for
+/// the immortal-flow `ttcp` workloads). Carried on
+/// [`RunResult`](crate::RunResult) — deliberately *not* part of
+/// [`RunMetrics`], whose serialized shape is pinned by the golden
+/// snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifecycleCounters {
+    /// Connections accepted during the measurement window.
+    pub accepts: u64,
+    /// Connections that completed teardown during the measurement
+    /// window.
+    pub completes: u64,
+    /// SYNs dropped over the whole run — listen-queue overflow, or no
+    /// flow slot free when the SYN arrived (the client retries after its
+    /// retransmission timeout). Counted over the run lifetime rather
+    /// than the window because the overbooked opening wave drops almost
+    /// entirely before measurement starts.
+    pub backlog_drops: u64,
+    /// Median flow completion time (SYN arrival → teardown complete) of
+    /// window completions, in cycles.
+    pub fct_p50_cycles: u64,
+    /// 99th-percentile flow completion time of window completions, in
+    /// cycles.
+    pub fct_p99_cycles: u64,
+    /// Flow slots still live when the run finished (a drained churn run
+    /// ends at zero).
+    pub final_live_flows: u64,
+    /// Occupied per-flow steering-table entries when the run finished
+    /// (zero after drain — FlowDirector entries must not leak).
+    pub final_table_entries: u64,
+}
+
 /// Summary of one measured steady-state run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {

@@ -50,6 +50,22 @@ pub(crate) enum RxDesc {
         /// Cycle the device enqueued the descriptor.
         at: u64,
     },
+    /// A connection-opening SYN (server workload). Pins a mempool
+    /// buffer; the flow slot was allocated device-side at arrival.
+    Syn {
+        /// Flow slot the new connection was allocated.
+        flow: usize,
+        /// Cycle the device enqueued the descriptor.
+        at: u64,
+    },
+    /// The client's ACK of our FIN (server workload teardown). Pins a
+    /// mempool buffer.
+    FinAck {
+        /// Flow being torn down.
+        flow: usize,
+        /// Cycle the device enqueued the descriptor.
+        at: u64,
+    },
 }
 
 impl RxDesc {
@@ -57,7 +73,11 @@ impl RxDesc {
     /// core can observe it).
     pub(crate) fn at(&self) -> u64 {
         match *self {
-            RxDesc::Data { at, .. } | RxDesc::Ack { at, .. } | RxDesc::TxDone { at, .. } => at,
+            RxDesc::Data { at, .. }
+            | RxDesc::Ack { at, .. }
+            | RxDesc::TxDone { at, .. }
+            | RxDesc::Syn { at, .. }
+            | RxDesc::FinAck { at, .. } => at,
         }
     }
 
@@ -113,7 +133,10 @@ impl PollPlane {
         for (q, &home) in queue_homes.iter().enumerate() {
             cores[home].assign(q);
         }
-        let per_flow = (peer_window + 2 * send_buf_segments) as usize;
+        // +4 covers the server-lifecycle descriptors a flow can have
+        // outstanding on top of its data windows (SYN, FIN completion,
+        // FIN-ACK, and one frame of slack).
+        let per_flow = (peer_window + 2 * send_buf_segments + 4) as usize;
         let mut rx = Vec::with_capacity(queue_homes.len());
         let mut tx = Vec::with_capacity(queue_homes.len());
         let mut pool = Vec::with_capacity(queue_homes.len());

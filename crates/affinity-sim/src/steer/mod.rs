@@ -225,6 +225,24 @@ pub trait SteeringPolicy: std::fmt::Debug + Send {
     fn steer(&mut self, _flow: usize, _counters: &mut SteerCounters) -> Option<SteerDecision> {
         None
     }
+
+    /// A connection was accepted on `cpu` (server workloads): dynamic
+    /// policies install their per-flow steering state here, exactly once
+    /// per connection incarnation. Static policies keep the free no-op.
+    fn flow_opened(&mut self, _flow: usize, _cpu: CpuId, _counters: &mut SteerCounters) {}
+
+    /// A connection finished teardown (server workloads): dynamic
+    /// policies must drop whatever [`SteeringPolicy::flow_opened`] or
+    /// [`SteeringPolicy::consumer_ran`] installed — per-flow table
+    /// entries must not outlive the connection.
+    fn flow_closed(&mut self, _flow: usize, _counters: &mut SteerCounters) {}
+
+    /// `(occupied, capacity)` of the policy's per-flow table, or `None`
+    /// for policies that keep no per-flow state. After every connection
+    /// of a server run has closed, `occupied` must be zero.
+    fn occupancy(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 #[cfg(test)]

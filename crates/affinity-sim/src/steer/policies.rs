@@ -160,6 +160,26 @@ impl SteeringPolicy for FlowDirector {
                 resteer_cycles: self.resteer_cycles,
             })
     }
+
+    fn flow_opened(&mut self, flow: usize, cpu: CpuId, counters: &mut SteerCounters) {
+        // Accepting a connection programs its filter exactly like the
+        // consumer running would; capacity rejects leave the flow on its
+        // static placement.
+        self.consumer_ran(flow, cpu, counters);
+    }
+
+    fn flow_closed(&mut self, flow: usize, _counters: &mut SteerCounters) {
+        if let Some(entry) = self.table.get_mut(flow) {
+            if *entry != Self::EMPTY {
+                *entry = Self::EMPTY;
+                self.occupied -= 1;
+            }
+        }
+    }
+
+    fn occupancy(&self) -> Option<(usize, usize)> {
+        Some((self.occupied, self.capacity))
+    }
 }
 
 #[cfg(test)]
@@ -205,11 +225,36 @@ mod tests {
     }
 
     #[test]
+    fn flow_director_uninstalls_on_close() {
+        let mut ctrs = SteerCounters::default();
+        let mut fd = FlowDirector::new(FlowPlacement::RssHash, 8, 600);
+        fd.flow_opened(3, CpuId::new(1), &mut ctrs);
+        fd.flow_opened(5, CpuId::new(2), &mut ctrs);
+        assert_eq!(fd.occupancy(), Some((2, 8)));
+        assert!(fd.steer(3, &mut ctrs).is_some());
+        fd.flow_closed(3, &mut ctrs);
+        assert!(
+            fd.steer(3, &mut ctrs).is_none(),
+            "closed flow steers static"
+        );
+        assert_eq!(fd.occupancy(), Some((1, 8)));
+        // Closing twice (or closing a never-opened flow) is a no-op.
+        fd.flow_closed(3, &mut ctrs);
+        fd.flow_closed(7, &mut ctrs);
+        assert_eq!(fd.occupancy(), Some((1, 8)));
+        fd.flow_closed(5, &mut ctrs);
+        assert_eq!(fd.occupancy(), Some((0, 8)));
+    }
+
+    #[test]
     fn static_policies_have_free_dynamic_hooks() {
         let mut ctrs = SteerCounters::default();
         let mut rr = RoundRobin;
         rr.consumer_ran(0, CpuId::new(1), &mut ctrs);
+        rr.flow_opened(0, CpuId::new(1), &mut ctrs);
+        rr.flow_closed(0, &mut ctrs);
         assert!(rr.steer(0, &mut ctrs).is_none());
+        assert_eq!(rr.occupancy(), None);
         assert_eq!(ctrs, SteerCounters::default());
         assert_eq!(
             StaticIrq::new(FlowPlacement::RoundRobin).vector_home(7, 8, 4),

@@ -1,4 +1,5 @@
-//! The `ttcp` bulk-transfer workload.
+//! The `ttcp` bulk-transfer workload and the server-side
+//! connection-churn workload.
 
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,92 @@ impl Workload {
     }
 }
 
+/// A server-side connection-churn workload: short-lived connections
+/// arrive with exponentially jittered gaps, each carrying one client
+/// request and one server response, then tearing down (SYN → accept →
+/// request → response → FIN → close). The machine keeps the live
+/// connection count pinned near the experiment's slot count by
+/// replacing each completed connection with a fresh arrival — plus a
+/// deliberate initial overbooking so the SYN-drop/retry path is
+/// exercised deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerWorkload {
+    /// Mean gap between connection arrivals in cycles (each gap is an
+    /// exponential draw from the machine RNG — Poisson-style).
+    pub arrival_gap_cycles: u64,
+    /// Client request size in bytes.
+    pub request_bytes: u64,
+    /// Server response size for a mouse connection, in bytes.
+    pub response_bytes: u64,
+    /// Every `elephant_every`-th arrival is an elephant (0 = mice only).
+    pub elephant_every: u64,
+    /// Server response size for an elephant connection, in bytes.
+    pub elephant_response_bytes: u64,
+    /// SYN backlog capacity of the listen socket.
+    pub backlog: u32,
+    /// Connections completed before measurement starts.
+    pub warmup_conns: u64,
+    /// Connections completed inside the measurement window.
+    pub measure_conns: u64,
+}
+
+impl ServerWorkload {
+    /// The `repro churn` point for a cell targeting `concurrent` live
+    /// connections: small requests, mostly-mouse responses with a 1-in-10
+    /// elephant mix, and completion targets scaled so roughly half the
+    /// slot population is recycled before measurement begins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrent` is zero.
+    #[must_use]
+    pub fn churn(concurrent: u64) -> Self {
+        assert!(concurrent > 0, "need at least one concurrent connection");
+        ServerWorkload {
+            arrival_gap_cycles: 2_000,
+            request_bytes: 256,
+            response_bytes: 2_048,
+            elephant_every: 10,
+            elephant_response_bytes: 32_768,
+            backlog: concurrent.clamp(16, 1024) as u32,
+            warmup_conns: (concurrent / 2).max(8),
+            measure_conns: concurrent.max(16),
+        }
+    }
+
+    /// A mice-only variant (no elephants) — the 100k-flow large cell,
+    /// where per-connection cost, not bulk bandwidth, is the subject.
+    #[must_use]
+    pub fn mice_only(mut self) -> Self {
+        self.elephant_every = 0;
+        self
+    }
+
+    /// Shrinks the completion targets for fast unit tests.
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.warmup_conns = self.warmup_conns.min(8);
+        self.measure_conns = self.measure_conns.min(24);
+        self
+    }
+
+    /// Total connections the run completes (warmup + measured).
+    #[must_use]
+    pub fn total_conns(&self) -> u64 {
+        self.warmup_conns + self.measure_conns
+    }
+
+    /// The response size of the connection with arrival serial `serial`.
+    #[must_use]
+    pub fn response_for(&self, serial: u64) -> u64 {
+        if self.elephant_every > 0 && serial.is_multiple_of(self.elephant_every) {
+            self.elephant_response_bytes
+        } else {
+            self.response_bytes
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +214,37 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_size_rejected() {
         let _ = Workload::steady_state(Direction::Tx, 0);
+    }
+
+    #[test]
+    fn churn_scales_and_mixes() {
+        let w = ServerWorkload::churn(1000);
+        assert_eq!(w.warmup_conns, 500);
+        assert_eq!(w.measure_conns, 1000);
+        assert_eq!(w.total_conns(), 1500);
+        // Serial 0, 10, 20, ... are elephants; the rest are mice.
+        assert_eq!(w.response_for(0), w.elephant_response_bytes);
+        assert_eq!(w.response_for(10), w.elephant_response_bytes);
+        assert_eq!(w.response_for(7), w.response_bytes);
+        let mice = w.mice_only();
+        assert_eq!(mice.response_for(0), mice.response_bytes);
+        let q = w.quick();
+        assert_eq!(q.warmup_conns, 8);
+        assert_eq!(q.measure_conns, 24);
+    }
+
+    #[test]
+    fn churn_floors_tiny_cells() {
+        let w = ServerWorkload::churn(1);
+        assert_eq!(w.warmup_conns, 8);
+        assert_eq!(w.measure_conns, 16);
+        assert_eq!(w.backlog, 16);
+        assert_eq!(ServerWorkload::churn(100_000).backlog, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn churn_rejects_zero_concurrency() {
+        let _ = ServerWorkload::churn(0);
     }
 }

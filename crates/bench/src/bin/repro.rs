@@ -10,26 +10,33 @@
 //! repro scale          # CPUs x flows x modes scaling sweep (incl. RSS)
 //! repro steer          # steering-policy sweep: RSS vs Flow Director
 //! repro poll           # interrupt-vs-poll sweep: IRQ stack vs PMD cores
+//! repro churn          # connection-churn sweep: SYN-to-FIN lifecycle
+//! repro --list         # sweeps, their filter tokens, latest digests
 //! repro --quick perf   # smoke variants at tiny message counts (CI)
 //! ```
 //!
 //! `--check` works on every sweep subcommand (`perf`, `scale`, `steer`,
-//! `poll`): instead of appending a history row, the fresh wall time is
-//! gated against the newest matching row in `BENCH_substrate.json`.
+//! `poll`, `churn`): instead of appending a history row, the fresh wall
+//! time is gated against the newest matching row in
+//! `BENCH_substrate.json`.
 //!
 //! `--filter` narrows the sweep subcommands to matching cells — the
 //! spec is `mode/size/dir` for `perf`, `mode/cpus/flows` for `scale`,
-//! `policy/coalesce/cpus` (e.g. `flowdir/adaptive/8`) for `steer`, and
-//! `plane/policy/cpus` (e.g. `poll/pmd/8`) for `poll`. A filter that
-//! matches no cells lists the valid tokens on stderr and exits 2, the
-//! same usage-error contract as a misspelled artifact.
+//! `policy/coalesce/cpus` (e.g. `flowdir/adaptive/8`) for `steer`,
+//! `plane/policy/cpus` (e.g. `poll/pmd/8`) for `poll`, and
+//! `plane/policy/cpus/flows` (e.g. `irq/flowdir/8/1000`) for `churn`.
+//! A filter that matches no cells lists the valid tokens on stderr and
+//! exits 2, the same usage-error contract as a misspelled artifact.
+//! `repro --list` prints every sweep with its filter grammar and the
+//! newest recorded history row, so the exit-2 listings are not the only
+//! discovery path.
 //!
 //! The sweep cells run on a deterministic job pool; `REPRO_THREADS`
 //! overrides the worker count (results are identical at any setting).
 
 use affinity_sim::{
-    report, AffinityMode, CoalesceConfig, Direction, DynamicSteer, ExperimentConfig, FlowPlacement,
-    RunMetrics, RunResult, SteerSpec, VectorLayout, PAPER_SIZES,
+    report, AffinityMode, CoalesceConfig, DataplaneMode, Direction, DynamicSteer, ExperimentConfig,
+    FlowPlacement, RunMetrics, RunResult, ServerWorkload, SteerSpec, VectorLayout, PAPER_SIZES,
 };
 use bench::{
     append_history, cell, figure_row, fnv_fold, latest_entries_by_threads, latest_history_entry,
@@ -38,7 +45,7 @@ use bench::{
 use sim_cpu::EventCosts;
 
 /// PR number stamped on history entries appended to `BENCH_substrate.json`.
-const CURRENT_PR: u32 = 8;
+const CURRENT_PR: u32 = 9;
 
 /// History file the sweep subcommands record into and `--check` reads.
 const HISTORY_PATH: &str = "BENCH_substrate.json";
@@ -58,9 +65,9 @@ const CHECK_SLACK: f64 = 1.10;
 const CHECK_NOISE_FLOOR_S: f64 = 0.25;
 
 /// Every artifact name `repro` understands, for validation and `--help`.
-const KNOWN_ARTIFACTS: [&str; 13] = [
+const KNOWN_ARTIFACTS: [&str; 14] = [
     "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "table5", "fourp", "perf",
-    "scale", "steer", "poll",
+    "scale", "steer", "poll", "churn",
 ];
 
 struct Args {
@@ -75,6 +82,9 @@ struct Args {
     /// `--check` (with `perf`): gate on the recorded wall time instead
     /// of appending a new history row.
     check: bool,
+    /// `--list`: print the sweeps, their filter grammars and the newest
+    /// recorded history rows, then exit.
+    list: bool,
 }
 
 /// Rejects a bad command-line token: prints the offending value and the
@@ -83,7 +93,9 @@ struct Args {
 fn usage_error(what: &str, got: &str, valid: &str) -> ! {
     eprintln!("repro: unknown {what} {got:?}");
     eprintln!("  valid {what}s: {valid}");
-    eprintln!("  usage: repro [--quick] [--check] [--sizes N,N,..] [--filter spec] [artifact..]");
+    eprintln!(
+        "  usage: repro [--list] [--quick] [--check] [--sizes N,N,..] [--filter spec] [artifact..]"
+    );
     std::process::exit(2);
 }
 
@@ -231,6 +243,7 @@ fn parse_args() -> Args {
         filter: None,
         quick: false,
         check: false,
+        list: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -246,6 +259,8 @@ fn parse_args() -> Args {
             parsed.quick = true;
         } else if arg == "--check" {
             parsed.check = true;
+        } else if arg == "--list" {
+            parsed.list = true;
         } else {
             parsed.artifacts.push(arg);
         }
@@ -952,6 +967,324 @@ fn poll(quick: bool, check: bool, filter: Option<&str>) {
     }
 }
 
+/// One churn cell's harvest: simulated wall cycles, completed
+/// connections per wall second (the churn headline), processing cost,
+/// and the lifecycle counters.
+type ChurnCell = (u64, f64, f64, affinity_sim::LifecycleCounters);
+
+/// Runs one churn cell, enforces the drain invariants every churn run
+/// must satisfy (no live flows, no leaked steering-table entries at
+/// exit), and reduces it to a [`ChurnCell`].
+fn run_churn_cell(config: &ExperimentConfig, label: &str) -> ChurnCell {
+    let r = affinity_sim::run_experiment(config).expect("valid churn config");
+    let lc = r.lifecycle;
+    assert!(lc.accepts > 0, "{label}: no accepts in window ({lc:?})");
+    assert!(lc.completes > 0, "{label}: no completes in window ({lc:?})");
+    assert_eq!(lc.final_live_flows, 0, "{label}: flows leaked ({lc:?})");
+    assert_eq!(
+        lc.final_table_entries, 0,
+        "{label}: steering table leaked ({lc:?})"
+    );
+    let m = &r.metrics;
+    let seconds = m.wall_cycles as f64 / m.freq.hertz() as f64;
+    let kconn_s = lc.completes as f64 / seconds / 1e3;
+    (m.wall_cycles, kconn_s, m.cost_ghz_per_gbps(), lc)
+}
+
+/// Folds churn cells into the sweep digest: wall cycles *and* the
+/// lifecycle counters, so a refactor that keeps timing but changes
+/// accept/drop accounting still moves the digest.
+fn churn_digest(cells: &[ChurnCell]) -> u64 {
+    fnv_fold(
+        cells
+            .iter()
+            .flat_map(|&(cycles, _, _, lc)| [cycles, lc.accepts, lc.completes, lc.backlog_drops]),
+    )
+}
+
+/// The connection-churn sweep: short-lived SYN-to-FIN request/response
+/// connections (open-loop arrivals, accept, one request, one mostly-
+/// mouse response, FIN teardown) on both dataplanes under static RSS
+/// hashing and Flow Director, across CPU counts and concurrent-flow
+/// targets. Where every other sweep measures bulk bandwidth over
+/// immortal flows, this one measures the lifecycle path itself —
+/// completed connections per second, flow completion time percentiles,
+/// SYN backlog drops — and every cell asserts the drain invariants: no
+/// live flow slots and no leaked Flow Director table entries at exit.
+/// Deterministic: the digest is independent of `REPRO_THREADS`. A
+/// standalone 16-CPU x 100k-flow mice-only cell runs on top of the
+/// grid (its own digest and history row), exercising arena recycling
+/// at the flow population the grid can't reach.
+fn churn(quick: bool, check: bool, filter: Option<&str>) {
+    if check {
+        check_rejects_filter("churn", filter);
+    }
+    // Server processes are pinned to their flows' even-spread homes, so
+    // static RSS pays a persistent vector-home-vs-consumer mismatch on
+    // hash-unlucky queues while Flow Director re-targets the vector to
+    // the consumer — without the pin, the server task always runs where
+    // the softirq delivered and the two policies collapse into one.
+    let rss = SteerSpec {
+        placement: FlowPlacement::RssHash,
+        vectors: VectorLayout::SplitEven,
+        dynamic: DynamicSteer::Off,
+        pin_processes: true,
+    };
+    let flowdir = SteerSpec {
+        pin_processes: true,
+        ..SteerSpec::flow_director()
+    };
+    let variants: [(&str, DataplaneMode, SteerSpec); 4] = [
+        ("Irq/RSS", DataplaneMode::Interrupt, rss),
+        ("Irq/FlowDir", DataplaneMode::Interrupt, flowdir),
+        ("Poll/RSS", DataplaneMode::Poll, rss),
+        ("Poll/FlowDir", DataplaneMode::Poll, flowdir),
+    ];
+    // Quick slot counts sit well below the quick-clamped measurement
+    // window (24 completions), so slots recycle *inside* the window and
+    // the nonzero-accepts invariant stays checkable in CI smoke runs.
+    let (cpu_grid, flow_grid): (Vec<usize>, Vec<usize>) = if quick {
+        (vec![4], vec![12])
+    } else {
+        (vec![4, 8, 16], vec![1_000, 10_000])
+    };
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for &cpus in &cpu_grid {
+        for &flows in &flow_grid {
+            for variant in 0..variants.len() {
+                jobs.push((cpus, flows, variant));
+            }
+        }
+    }
+    if let Some(spec) = filter {
+        let parts: Vec<&str> = spec.split('/').collect();
+        if parts.len() != 4 {
+            usage_error(
+                "filter",
+                spec,
+                "<plane>/<policy>/<cpus>/<flows> for churn, e.g. irq/flowdir/8/1000",
+            );
+        }
+        // Variant names are "<plane>/<policy>" (e.g. "Irq/FlowDir").
+        let plane = format!("{}/{}", parts[0], parts[1]);
+        let cpus_want: usize = parts[2]
+            .parse()
+            .unwrap_or_else(|_| usage_error("filter cpus", parts[2], "a CPU count, e.g. 4, 8, 16"));
+        let flows_want: usize = parts[3].parse().unwrap_or_else(|_| {
+            usage_error("filter flows", parts[3], "a flow target, e.g. 1000, 10000")
+        });
+        jobs.retain(|&(cpus, flows, v)| {
+            cpus == cpus_want && flows == flows_want && variants[v].0.eq_ignore_ascii_case(&plane)
+        });
+        if jobs.is_empty() {
+            let cpus: Vec<String> = cpu_grid.iter().map(usize::to_string).collect();
+            let flows: Vec<String> = flow_grid.iter().map(usize::to_string).collect();
+            let planes: Vec<&str> = variants.iter().map(|v| v.0).collect();
+            empty_filter_error(
+                "churn",
+                spec,
+                &format!(
+                    "plane/policy {}; cpus {}; flows {}",
+                    planes.join(", "),
+                    cpus.join(", "),
+                    flows.join(", ")
+                ),
+            );
+        }
+    }
+    let cells = jobs.len();
+    let threads = pool_threads();
+    eprintln!(
+        "churn sweep: {cells} cells ({} CPU counts x {} flow targets x {} planes, Tx RPC) on {threads} worker(s)...",
+        cpu_grid.len(),
+        flow_grid.len(),
+        variants.len(),
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_pool(jobs.clone(), threads, move |(cpus, flows, variant)| {
+        let (name, plane, spec) = variants[variant];
+        let mut config = ExperimentConfig::churn(cpus, flows, spec, plane);
+        if quick {
+            config = config.quick();
+        }
+        run_churn_cell(&config, &format!("{name} {cpus}cpu {flows}flows"))
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let digest = churn_digest(&results);
+
+    println!("connection-churn sweep (Tx RPC, SYN-to-FIN lifecycle, mice + 1-in-10 elephants)");
+    println!(
+        "{:>5} {:>6} {:>12} | {:>8} {:>9} {:>8} {:>7} {:>9} {:>9}",
+        "cpus", "flows", "plane", "kconn/s", "GHz/Gbps", "accepts", "drops", "fct p50", "fct p99"
+    );
+    for (row, &(_, kconn_s, cost, lc)) in results.iter().enumerate() {
+        let (cpus, flows, variant) = jobs[row];
+        println!(
+            "{cpus:>5} {flows:>6} {:>12} | {kconn_s:>8.1} {cost:>9.2} {:>8} {:>7} {:>9} {:>9}",
+            variants[variant].0, lc.accepts, lc.backlog_drops, lc.fct_p50_cycles, lc.fct_p99_cycles,
+        );
+    }
+    // A filtered subset may not contain the variants the comparative
+    // summary needs, so it only renders for the full sweep.
+    if filter.is_none() {
+        let top_cpus = *cpu_grid.last().expect("non-empty cpu grid");
+        let top_flows = *flow_grid.last().expect("non-empty flow grid");
+        let at = |name: &str| {
+            jobs.iter()
+                .zip(&results)
+                .find(|((cpus, flows, v), _)| {
+                    *cpus == top_cpus && *flows == top_flows && variants[*v].0 == name
+                })
+                .map(|(_, &(_, kconn_s, ..))| kconn_s)
+                .expect("variant present")
+        };
+        println!(
+            "\nat {top_cpus} cpus, {top_flows} flows: FlowDir {flowdir:.1} kconn/s vs RSS \
+             {rss:.1} kconn/s ({gain:+.1}%) on the interrupt plane",
+            flowdir = at("Irq/FlowDir"),
+            rss = at("Irq/RSS"),
+            gain = 100.0 * (at("Irq/FlowDir") / at("Irq/RSS") - 1.0),
+        );
+    }
+    println!(
+        "{cells} cells in {wall:.2} s ({rate:.1} cells/sec), digest {digest:016x}",
+        rate = cells as f64 / wall,
+    );
+    if filter.is_some() {
+        eprintln!("filtered run: not recorded in {HISTORY_PATH}; large cell skipped");
+        return;
+    }
+
+    if check {
+        check_gate("churn", "churn sweep", wall, quick, threads);
+    } else if quick {
+        eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
+    } else {
+        let json = format!(
+            "  {{\n    \"pr\": {CURRENT_PR},\n    \
+             \"benchmark\": \"churn sweep ({n_cpus} CPU counts x {n_flows} flow targets x 4 planes, Tx RPC)\",\n    \
+             \"cells\": {cells},\n    \"threads\": {threads},\n    \
+             \"current_wall_s\": {wall:.2},\n    \
+             \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
+            n_cpus = cpu_grid.len(),
+            n_flows = flow_grid.len(),
+            rate = cells as f64 / wall,
+        );
+        append_history(HISTORY_PATH, &json);
+    }
+
+    // The standalone large cell: 16 CPUs x 100k concurrent-flow slots,
+    // interrupt plane under Flow Director, mice only — per-connection
+    // cost at a flow population 10x the grid's ceiling, where arena
+    // recycling and table install/teardown either hold their rate or
+    // visibly don't. Quick mode shrinks the slot count (machine
+    // construction, not the lifecycle path, dominates a 100k-slot
+    // build) but keeps the same shape.
+    // The quick variant keeps the slot count under the quick-clamped
+    // window for the same reason as the quick grid above.
+    let (large_cpus, large_flows) = if quick { (8, 16) } else { (16, 100_000) };
+    eprintln!("churn large cell: {large_cpus} cpus x {large_flows} flow slots (mice only)...");
+    let t1 = std::time::Instant::now();
+    let mut config = ExperimentConfig::churn(
+        large_cpus,
+        large_flows,
+        SteerSpec {
+            pin_processes: true,
+            ..SteerSpec::flow_director()
+        },
+        DataplaneMode::Interrupt,
+    );
+    config.server = config.server.map(ServerWorkload::mice_only);
+    if quick {
+        config = config.quick();
+    }
+    let cell = run_churn_cell(&config, "churn large cell");
+    let large_wall = t1.elapsed().as_secs_f64();
+    let large_digest = churn_digest(&[cell]);
+    let (_, kconn_s, cost, lc) = cell;
+    println!(
+        "large cell ({large_cpus} cpus x {large_flows} flows, flowdir, mice): {kconn_s:.1} \
+         kconn/s, {cost:.2} GHz/Gbps, {accepts} accepts, {drops} drops, fct p50/p99 \
+         {p50}/{p99} cycles in {large_wall:.2} s, digest {large_digest:016x}",
+        accepts = lc.accepts,
+        drops = lc.backlog_drops,
+        p50 = lc.fct_p50_cycles,
+        p99 = lc.fct_p99_cycles,
+    );
+    if check {
+        check_gate(
+            "churn large",
+            "churn large cell",
+            large_wall,
+            quick,
+            threads,
+        );
+    } else if quick {
+        eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
+    } else {
+        let json = format!(
+            "  {{\n    \"pr\": {CURRENT_PR},\n    \
+             \"benchmark\": \"churn large cell ({large_cpus} cpus x {large_flows} flows, flowdir, mice)\",\n    \
+             \"cells\": 1,\n    \"threads\": {threads},\n    \
+             \"current_wall_s\": {large_wall:.2},\n    \
+             \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{large_digest:016x}\"\n  }}",
+            rate = 1.0 / large_wall,
+        );
+        append_history(HISTORY_PATH, &json);
+    }
+}
+
+/// `repro --list`: one block per sweep — the filter grammar with its
+/// valid tokens (the same listing the exit-2 paths print) and the
+/// newest recorded history row, digest included.
+fn list_sweeps() {
+    const SWEEPS: [(&str, &str, &str); 6] = [
+        (
+            "perf",
+            "full figure matrix",
+            "--filter <mode>/<size>/<dir>  (mode no|irq|proc|full|rss; size 64..65536; dir tx|rx)",
+        ),
+        (
+            "scale",
+            "scale sweep",
+            "--filter <mode>/<cpus>/<flows>  (mode no|irq|full|rss; cpus 2,4,8,16; flows 8,64,256)",
+        ),
+        (
+            "steer",
+            "steering sweep",
+            "--filter <policy>/<coalesce>/<cpus>  (policy RSS|FlowDir; coalesce fixed|adaptive; cpus 4,8,16)",
+        ),
+        (
+            "poll",
+            "poll sweep",
+            "--filter <plane>/<policy>/<cpus>  (plane/policy Irq/cpu0|Irq/RSS|Irq/FlowDir|Poll/pmd; cpus 4,8,16)",
+        ),
+        (
+            "churn",
+            "churn sweep",
+            "--filter <plane>/<policy>/<cpus>/<flows>  (plane Irq|Poll; policy RSS|FlowDir; cpus 4,8,16; flows 1000,10000)",
+        ),
+        ("churn (large cell)", "churn large cell", "no filter grammar — runs after every unfiltered churn sweep"),
+    ];
+    println!("recorded sweeps ({HISTORY_PATH}):");
+    for (name, benchmark_prefix, tokens) in SWEEPS {
+        println!("\n  {name}");
+        println!("    {tokens}");
+        match latest_history_entry(HISTORY_PATH, benchmark_prefix, None) {
+            Some(row) => {
+                let digest = row
+                    .digest
+                    .map_or_else(|| "(none recorded)".to_string(), |d| format!("{d:016x}"));
+                println!(
+                    "    latest: PR {}, {:.2} s at {} worker(s), digest {digest}",
+                    row.pr, row.wall_s, row.threads
+                );
+            }
+            None => println!("    latest: no recorded rows"),
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let Args {
@@ -960,9 +1293,14 @@ fn main() {
         filter,
         quick,
         check,
+        list,
     } = args;
     let wants = |name: &str| artifacts.iter().any(|a| a == name);
 
+    if list {
+        list_sweeps();
+        return;
+    }
     if wants("perf") {
         perf(quick, check, filter.as_deref());
         return;
@@ -979,9 +1317,13 @@ fn main() {
         poll(quick, check, filter.as_deref());
         return;
     }
+    if wants("churn") {
+        churn(quick, check, filter.as_deref());
+        return;
+    }
     if check {
         eprintln!(
-            "repro: --check only applies to the sweep subcommands (perf, scale, steer, poll)"
+            "repro: --check only applies to the sweep subcommands (perf, scale, steer, poll, churn)"
         );
         std::process::exit(2);
     }

@@ -204,6 +204,8 @@ pub struct HistoryEntry {
     pub threads: usize,
     /// Recorded wall seconds.
     pub wall_s: f64,
+    /// Recorded result digest (`None` on rows predating the field).
+    pub digest: Option<u64>,
 }
 
 /// Extracts the value of `"key": value` from one history line, with the
@@ -224,6 +226,7 @@ fn scan_history(path: &str, benchmark_prefix: &str) -> Vec<HistoryEntry> {
     };
     let mut rows = Vec::new();
     let (mut pr, mut thr, mut wall) = (None::<u32>, None::<usize>, None::<f64>);
+    let mut digest = None::<u64>;
     let mut benchmark: Option<String> = None;
     for line in text.lines() {
         let t = line.trim();
@@ -233,6 +236,8 @@ fn scan_history(path: &str, benchmark_prefix: &str) -> Vec<HistoryEntry> {
             thr = v.parse().ok();
         } else if let Some(v) = json_field(t, "current_wall_s") {
             wall = v.parse().ok();
+        } else if let Some(v) = json_field(t, "digest") {
+            digest = u64::from_str_radix(v.trim_matches('"'), 16).ok();
         } else if let Some(v) = json_field(t, "benchmark") {
             benchmark = Some(v.trim_matches('"').to_string());
         } else if t.starts_with('}') {
@@ -244,10 +249,11 @@ fn scan_history(path: &str, benchmark_prefix: &str) -> Vec<HistoryEntry> {
                         pr,
                         threads,
                         wall_s,
+                        digest,
                     });
                 }
             }
-            (pr, thr, wall, benchmark) = (None, None, None, None);
+            (pr, thr, wall, digest, benchmark) = (None, None, None, None, None);
         }
     }
     rows
@@ -505,6 +511,35 @@ mod tests {
             latest_history_entry(path, "full figure matrix", Some(3)),
             None
         );
+
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn history_rows_carry_their_recorded_digest() {
+        let path = std::env::temp_dir().join(format!("bench_digest_{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+
+        // A legacy row without a digest field parses to `None`; a modern
+        // row round-trips the hex digest string back to the u64.
+        append_history(
+            path,
+            "  {\n    \"pr\": 5,\n    \"benchmark\": \"poll sweep\",\n    \
+             \"threads\": 1,\n    \"current_wall_s\": 1.00\n  }",
+        );
+        append_history(
+            path,
+            "  {\n    \"pr\": 9,\n    \"benchmark\": \"poll sweep\",\n    \
+             \"threads\": 1,\n    \"current_wall_s\": 1.10,\n    \
+             \"digest\": \"5b4b100cbd3a3908\"\n  }",
+        );
+
+        let newest = latest_history_entry(path, "poll sweep", None).unwrap();
+        assert_eq!(newest.digest, Some(0x5b4b_100c_bd3a_3908));
+        let rows = latest_entries_by_threads(path, "poll sweep");
+        assert_eq!(rows.len(), 1, "both rows are threads=1; newest wins");
+        assert_eq!(rows[0].pr, 9);
 
         let _ = std::fs::remove_file(path);
     }

@@ -103,6 +103,15 @@ pub struct StackConfig {
     pub tcp_retransmit: FuncCost,
     /// `tcp_close` / FIN handling — teardown.
     pub tcp_close: FuncCost,
+    /// `tcp_v4_conn_request` — passive open: SYN validation, request
+    /// sock allocation, SYN-ACK construction (server-mode softirq).
+    pub tcp_conn_request: FuncCost,
+    /// `inet_csk_accept` — dequeue from the accept backlog and graft the
+    /// socket onto the server task.
+    pub tcp_accept: FuncCost,
+    /// `tcp_fin` — process the final ACK of the teardown and unhash the
+    /// connection.
+    pub tcp_fin: FuncCost,
 
     // --- Buf Mgmt ---
     /// `alloc_skb` (per segment).
@@ -197,6 +206,12 @@ impl StackConfig {
             tcp_connect: f(Engine, 850, 0, 1.1, 900, 0.16, 0.010, 2048),
             tcp_retransmit: f(Engine, 420, 180, 1.0, 0, 0.16, 0.008, 1024),
             tcp_close: f(Engine, 520, 0, 1.1, 400, 0.16, 0.008, 1024),
+            // Lifecycle (server side): passive open is a little cheaper
+            // than the active open's route lookup; accept pays a
+            // privilege transition; the FIN-ACK path is close's dual.
+            tcp_conn_request: f(Engine, 700, 0, 1.1, 600, 0.16, 0.010, 1792),
+            tcp_accept: f(Engine, 260, 0, 1.2, 700, 0.18, 0.006, 1024),
+            tcp_fin: f(Engine, 380, 0, 1.1, 200, 0.16, 0.008, 768),
 
             // Buf mgmt: pointer-chasing through slab/skb structures.
             alloc_skb: f(BufMgmt, 80, 340, 1.0, 0, 0.17, 0.008, 1024),

@@ -60,6 +60,25 @@ impl FlowId {
     }
 }
 
+/// Per-connection lifecycle state.
+///
+/// The listener side (the ISSUE's LISTEN state) is not a per-flow state:
+/// it lives in the stack's single [`crate::stack::ListenSocket`]. A slot
+/// on the free list is in `Closed`; `alloc` hands it out still `Closed`
+/// until the SYN is processed in the softirq.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnState {
+    /// No connection: the slot is free or the handshake hasn't started.
+    Closed,
+    /// SYN received and SYN-ACK sent; waiting in the accept backlog.
+    SynRcvd,
+    /// Fully open — the data fast path.
+    Established,
+    /// FIN sent, waiting for the peer's FIN-ACK before the slot is
+    /// recycled.
+    FinWait,
+}
+
 /// Structure-of-arrays arena of per-flow protocol state.
 ///
 /// Field `x` of flow `f` is `x[f]` with `f = arena.slot(id)`; all arrays
@@ -106,6 +125,12 @@ pub(crate) struct FlowArena {
     /// measurement) but still slow-start from the initial window during
     /// warm-up.
     pub established: Vec<bool>,
+    /// Lifecycle state of each slot (see [`ConnState`]).
+    pub states: Vec<ConnState>,
+    /// Recycled slot indices available for [`FlowArena::alloc`] (LIFO).
+    free_list: Vec<u32>,
+    /// Slots currently holding a live connection (not on the free list).
+    live: usize,
 }
 
 impl FlowArena {
@@ -127,6 +152,9 @@ impl FlowArena {
             tx_bytes_submitted: Vec::with_capacity(n),
             congestion: Vec::with_capacity(n),
             established: Vec::with_capacity(n),
+            states: Vec::with_capacity(n),
+            free_list: Vec::new(),
+            live: 0,
         }
     }
 
@@ -168,12 +196,77 @@ impl FlowArena {
         self.congestion
             .push(CongestionState::new(config.initial_cwnd, config.max_cwnd));
         self.established.push(true);
+        self.states.push(ConnState::Established);
+        self.live += 1;
         FlowId { index, gen: 0 }
     }
 
     /// Number of flows in the arena.
     pub(crate) fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Number of slots currently allocated (not on the free list).
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Pops a recycled slot and resets its protocol state for a new
+    /// connection, returning the slot's current-generation handle.
+    ///
+    /// The connection's memory regions and the rolling slab/DMA cursors
+    /// are deliberately *kept*: the slab allocator cycles buffers through
+    /// the same arena across connections, so a recycled slot inherits the
+    /// cache weather of its predecessor — the same churn the real
+    /// allocator produces. Returns `None` when the free list is empty.
+    pub(crate) fn alloc(&mut self, config: &StackConfig) -> Option<FlowId> {
+        let index = self.free_list.pop()?;
+        let s = index as usize;
+        self.rx_queue[s].clear();
+        self.rx_queue_bytes[s] = 0;
+        self.frames_since_ack[s] = 0;
+        self.tx_inflight[s] = 0;
+        self.tx_unacked[s] = 0;
+        self.rx_bytes_delivered[s] = 0;
+        self.tx_bytes_submitted[s] = 0;
+        self.congestion[s] = CongestionState::new(config.initial_cwnd, config.max_cwnd);
+        self.established[s] = false;
+        self.states[s] = ConnState::Closed;
+        self.live += 1;
+        Some(FlowId {
+            index,
+            gen: self.generations[s],
+        })
+    }
+
+    /// Frees a live slot: bumps the generation (so `flow` and any copies
+    /// of it go stale) and pushes the slot on the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is already stale.
+    pub(crate) fn free(&mut self, flow: FlowId) {
+        let s = self.slot(flow);
+        self.generations[s] = self.generations[s].wrapping_add(1);
+        self.established[s] = false;
+        self.states[s] = ConnState::Closed;
+        self.free_list.push(s as u32);
+        self.live -= 1;
+    }
+
+    /// Moves every slot onto the free list (server-mode initialisation:
+    /// slots are pre-inserted for their memory regions, then allocated on
+    /// SYN arrival). Generations bump so pre-existing handles go stale.
+    /// The LIFO free order is deterministic: highest slot pops first.
+    pub(crate) fn free_all(&mut self) {
+        self.free_list.clear();
+        for s in 0..self.ids.len() {
+            self.generations[s] = self.generations[s].wrapping_add(1);
+            self.established[s] = false;
+            self.states[s] = ConnState::Closed;
+            self.free_list.push(s as u32);
+        }
+        self.live = 0;
     }
 
     /// The current-generation handle for the dense connection `conn`.
@@ -271,5 +364,137 @@ mod tests {
         // Simulate a slot reuse: bump the generation behind the handle.
         arena.generations[0] += 1;
         let _ = arena.slot(flow);
+    }
+
+    fn arena_with_slots(n: u32) -> (MemorySystem, FlowArena) {
+        let mut mem = MemorySystem::new(MemoryConfig::paper_sut(2));
+        let dma = mem.add_region("nic0.rx_buffers", 64 * 1024);
+        let mut arena = FlowArena::with_capacity(n as usize);
+        for i in 0..n {
+            arena.insert(
+                ConnectionId::new(i),
+                &mut mem,
+                &StackConfig::paper(),
+                dma,
+                4096,
+            );
+        }
+        (mem, arena)
+    }
+
+    #[test]
+    fn alloc_fails_when_no_slot_is_free() {
+        let (_mem, mut arena) = arena_with_slots(2);
+        // insert() leaves every slot live; nothing to alloc.
+        assert!(arena.alloc(&StackConfig::paper()).is_none());
+        assert_eq!(arena.live(), 2);
+    }
+
+    #[test]
+    fn free_then_alloc_recycles_with_bumped_generation() {
+        let (_mem, mut arena) = arena_with_slots(1);
+        let config = StackConfig::paper();
+        let old = arena.handle(ConnectionId::new(0));
+        arena.rx_queue_bytes[0] = 77;
+        arena.tx_unacked[0] = 3;
+        arena.free(old);
+        assert_eq!(arena.live(), 0);
+        let fresh = arena.alloc(&config).expect("one slot free");
+        assert_eq!(fresh.index(), 0);
+        assert_ne!(fresh, old, "recycled handle must carry a new generation");
+        assert_eq!(arena.slot(fresh), 0);
+        assert_eq!(arena.rx_queue_bytes[0], 0, "protocol state resets");
+        assert_eq!(arena.tx_unacked[0], 0);
+        assert_eq!(arena.states[0], ConnState::Closed);
+        assert!(!arena.established[0]);
+        assert_eq!(arena.live(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale FlowId")]
+    fn freed_handle_is_stale() {
+        let (_mem, mut arena) = arena_with_slots(1);
+        let old = arena.handle(ConnectionId::new(0));
+        arena.free(old);
+        let _ = arena.slot(old);
+    }
+
+    #[test]
+    fn free_all_empties_the_arena_deterministically() {
+        let (_mem, mut arena) = arena_with_slots(3);
+        let config = StackConfig::paper();
+        arena.free_all();
+        assert_eq!(arena.live(), 0);
+        // LIFO: highest slot pops first.
+        assert_eq!(arena.alloc(&config).unwrap().index(), 2);
+        assert_eq!(arena.alloc(&config).unwrap().index(), 1);
+        assert_eq!(arena.alloc(&config).unwrap().index(), 0);
+        assert!(arena.alloc(&config).is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        const SLOTS: usize = 8;
+
+        proptest! {
+            /// Satellite: random alloc/free sequences against a
+            /// HashMap<slot, FlowId> model of the live set. Recycled
+            /// slots must hand out a different generation than the
+            /// handle they invalidated, the live count must equal the
+            /// model's size after every op, and every live handle must
+            /// keep resolving to its slot.
+            #[test]
+            fn alloc_free_matches_hashmap_model(
+                ops in prop::collection::vec((0u8..2, 0usize..SLOTS), 0..96),
+            ) {
+                let (_mem, mut arena) = arena_with_slots(SLOTS as u32);
+                let config = StackConfig::paper();
+                arena.free_all();
+                let mut model: HashMap<usize, FlowId> = HashMap::new();
+                let mut retired: Vec<FlowId> = Vec::new();
+                for (op, pick) in ops {
+                    match op {
+                        0 => match arena.alloc(&config) {
+                            Some(flow) => {
+                                prop_assert!(model.len() < SLOTS);
+                                let slot = flow.index();
+                                prop_assert!(!model.contains_key(&slot));
+                                if let Some(old) = retired.iter().find(|r| r.index() == slot) {
+                                    prop_assert_ne!(
+                                        *old, flow,
+                                        "recycled slot must bump generation"
+                                    );
+                                }
+                                model.insert(slot, flow);
+                            }
+                            None => prop_assert_eq!(model.len(), SLOTS),
+                        },
+                        _ => {
+                            if model.is_empty() {
+                                continue;
+                            }
+                            let mut live: Vec<usize> = model.keys().copied().collect();
+                            live.sort_unstable();
+                            let slot = live[pick % live.len()];
+                            let flow = model.remove(&slot).unwrap();
+                            arena.free(flow);
+                            retired.push(flow);
+                        }
+                    }
+                    prop_assert_eq!(arena.live(), model.len());
+                    for (&slot, &flow) in &model {
+                        prop_assert_eq!(arena.slot(flow), slot);
+                    }
+                }
+                // Every retired handle is stale: its generation no longer
+                // matches the slot's.
+                for old in retired {
+                    prop_assert_ne!(arena.generations[old.index()], old.gen);
+                }
+            }
+        }
     }
 }

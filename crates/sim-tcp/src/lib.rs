@@ -28,6 +28,14 @@
 //! [`TcpStack::irq_top_half`], [`TcpStack::rx_bottom_half`],
 //! [`TcpStack::recvmsg`], [`TcpStack::connect`], plus accessors used by
 //! the profiler and the experiment harness.
+//!
+//! Server cells additionally drive the passive-open lifecycle — LISTEN
+//! ([`TcpStack::listen`]) → SYN_RCVD ([`TcpStack::on_syn`], with SYN
+//! backlog overflow drops) → ESTABLISHED ([`TcpStack::accept`]) →
+//! FIN_WAIT ([`TcpStack::send_fin`]) → CLOSED
+//! ([`TcpStack::on_fin_ack`]) — with flow slots recycled through the
+//! arena free list ([`TcpStack::flow_alloc`]/[`TcpStack::flow_free`],
+//! generation-stamped so stale handles panic).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,5 +49,5 @@ mod stack;
 pub use bin::Bin;
 pub use config::{FuncCost, StackConfig};
 pub use congestion::{CongestionPhase, CongestionState};
-pub use conn::{ConnectionRegions, FlowId};
-pub use stack::{ExecCtx, RxBatchOutcome, TcpStack};
+pub use conn::{ConnState, ConnectionRegions, FlowId};
+pub use stack::{ExecCtx, ListenSocket, RxBatchOutcome, SynOutcome, TcpStack};

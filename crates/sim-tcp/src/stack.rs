@@ -10,7 +10,7 @@ use sim_prof::{FuncId, FunctionRegistry, ProfScratch, Profiler};
 
 use crate::bin::Bin;
 use crate::config::{FuncCost, StackConfig};
-use crate::conn::{ConnectionRegions, FlowArena};
+use crate::conn::{ConnState, ConnectionRegions, FlowArena};
 
 /// Execution context threaded through every stack operation: the CPU the
 /// code runs on, the coherent memory system, the profiler receiving
@@ -105,6 +105,37 @@ struct FnIds {
     mod_timer: FuncId,
 }
 
+/// Function ids for the server-side lifecycle path. Registered *after*
+/// every pre-existing symbol (including the per-vector IRQ handlers) so
+/// that all legacy [`FuncId`] indices — and therefore every existing
+/// sweep digest — are unchanged.
+#[derive(Debug, Clone, Copy)]
+struct LifecycleFnIds {
+    tcp_conn_request: FuncId,
+    tcp_accept: FuncId,
+    tcp_fin: FuncId,
+}
+
+/// The single listening socket of a server-mode stack (the state machine's
+/// LISTEN state). Per-flow states live in the arena ([`ConnState`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ListenSocket {
+    /// Maximum connections allowed to wait in the accept backlog.
+    pub capacity: u32,
+    /// Connections currently in [`ConnState::SynRcvd`] awaiting accept.
+    pub in_backlog: u32,
+}
+
+/// Outcome of SYN processing in the softirq.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynOutcome {
+    /// The connection entered the accept backlog (SYN-ACK sent). `false`
+    /// means the backlog was full and the SYN was dropped.
+    pub queued: bool,
+    /// Cycles consumed.
+    pub cycles: u64,
+}
+
 /// The modelled TCP/IP stack.
 ///
 /// Owns the function registry (symbol table), per-function code regions,
@@ -125,8 +156,10 @@ pub struct TcpStack {
     /// (vectors are small integers; a dense table turns the per-interrupt
     /// lookup into an array load instead of a hash).
     irq_funcs: Vec<Option<FuncId>>,
+    lifecycle: LifecycleFnIds,
     flows: FlowArena,
     locks: Vec<SpinLock>,
+    listen: Option<ListenSocket>,
 }
 
 impl TcpStack {
@@ -238,14 +271,27 @@ impl TcpStack {
             .map(|id| SpinLock::new(format!("conn{}.sk_lock", id.index())))
             .collect();
 
+        // Lifecycle symbols last — after the per-connection regions, not
+        // just after the legacy symbols: appending at the very end keeps
+        // every legacy FuncId, RegionId *and address* numerically
+        // identical to the pre-server stack, which is what keeps the
+        // existing sweeps bit-identical.
+        let lifecycle = LifecycleFnIds {
+            tcp_conn_request: reg(r, c, mem, "tcp_v4_conn_request", &config.tcp_conn_request),
+            tcp_accept: reg(r, c, mem, "inet_csk_accept", &config.tcp_accept),
+            tcp_fin: reg(r, c, mem, "tcp_fin", &config.tcp_fin),
+        };
+
         Ok(TcpStack {
             config,
             registry,
             ids,
             code,
             irq_funcs,
+            lifecycle,
             flows,
             locks,
+            listen: None,
         })
     }
 
@@ -931,6 +977,235 @@ impl TcpStack {
     #[must_use]
     pub fn lock_stats(&self, conn: ConnectionId) -> sim_os::SpinLockStats {
         self.locks[conn.index()].stats()
+    }
+
+    // --- Server-side connection lifecycle -----------------------------
+    //
+    // Legacy (client/ttcp) cells never call anything below, so the
+    // pre-existing sweeps are untouched by construction.
+
+    /// Opens the listening socket with an accept backlog of `capacity`
+    /// and returns every flow slot to the free list (server cells
+    /// allocate slots on SYN arrival instead of at construction).
+    pub fn listen(&mut self, capacity: u32) {
+        self.listen = Some(ListenSocket {
+            capacity,
+            in_backlog: 0,
+        });
+        self.flows.free_all();
+    }
+
+    /// The listening socket, if [`listen`](Self::listen) was called.
+    #[must_use]
+    pub fn listen_socket(&self) -> Option<ListenSocket> {
+        self.listen
+    }
+
+    /// Flow slots currently allocated (alive anywhere in
+    /// SYN_RCVD/ESTABLISHED/FIN_WAIT).
+    #[must_use]
+    pub fn live_flows(&self) -> usize {
+        self.flows.live()
+    }
+
+    /// Lifecycle state of `conn`'s slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range.
+    #[must_use]
+    pub fn conn_state(&self, conn: ConnectionId) -> ConnState {
+        self.flows.states[self.slot_of(conn)]
+    }
+
+    /// Allocates a flow slot for an arriving connection (state
+    /// [`ConnState::Closed`] until the SYN is processed). Returns `None`
+    /// when every slot is live.
+    pub fn flow_alloc(&mut self) -> Option<ConnectionId> {
+        let flow = self.flows.alloc(&self.config)?;
+        Some(ConnectionId::new(flow.index() as u32))
+    }
+
+    /// Recycles `conn`'s slot (generation bumps; stale handles panic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range or already free.
+    pub fn flow_free(&mut self, conn: ConnectionId) {
+        let flow = self.flows.handle(conn);
+        self.flows.free(flow);
+    }
+
+    /// Softirq SYN processing for a freshly allocated `conn`: validate,
+    /// allocate the request sock, send the SYN-ACK through the normal
+    /// transmit path and queue on the accept backlog — or drop if the
+    /// backlog is full (`queued == false`; the caller recycles the slot
+    /// and the peer retries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range or [`listen`](Self::listen) was
+    /// never called.
+    pub fn on_syn(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        conn: ConnectionId,
+        cross_cpu: bool,
+    ) -> SynOutcome {
+        let ci = self.slot_of(conn);
+        let regions = self.flows.regions[ci];
+        // Demux runs regardless of the backlog outcome.
+        let item = self
+            .item(&self.config.tcp_v4_rcv, self.ids.tcp_v4_rcv, 0)
+            .touch(DataTouch::read(regions.tcp_ctx, 0, 256));
+        let mut cycles = self.run(ctx, self.ids.tcp_v4_rcv, item);
+        let listen = self
+            .listen
+            .as_mut()
+            .expect("on_syn requires a listening socket");
+        if listen.in_backlog >= listen.capacity {
+            return SynOutcome {
+                queued: false,
+                cycles,
+            };
+        }
+        listen.in_backlog += 1;
+        let item = self
+            .item(
+                &self.config.tcp_conn_request,
+                self.lifecycle.tcp_conn_request,
+                0,
+            )
+            .touch(DataTouch::write(regions.tcp_ctx, 0, 1536))
+            .touch(DataTouch::write(regions.sock, 0, 512));
+        cycles += self.run(ctx, self.lifecycle.tcp_conn_request, item);
+        // The SYN-ACK goes out through the normal transmit path.
+        let item = self
+            .item(&self.config.tcp_transmit_skb, self.ids.tcp_transmit_skb, 0)
+            .touch(DataTouch::read(regions.tcp_ctx, 0, 256));
+        cycles += self.run(ctx, self.ids.tcp_transmit_skb, item);
+        let item = self
+            .item(&self.config.mod_timer, self.ids.mod_timer, 0)
+            .touch(DataTouch::write(regions.tcp_ctx, 1024, 64));
+        cycles += self.run(ctx, self.ids.mod_timer, item);
+        let _ = cross_cpu;
+        self.flows.states[ci] = ConnState::SynRcvd;
+        SynOutcome {
+            queued: true,
+            cycles,
+        }
+    }
+
+    /// The server task accepts `conn` from the backlog (process context):
+    /// `inet_csk_accept` dequeues the request sock and grafts the socket.
+    /// The connection becomes [`ConnState::Established`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range, not in SYN_RCVD, or the backlog
+    /// is empty.
+    pub fn accept(&mut self, ctx: &mut ExecCtx<'_>, conn: ConnectionId, cross_cpu: bool) -> u64 {
+        let ci = self.slot_of(conn);
+        assert_eq!(
+            self.flows.states[ci],
+            ConnState::SynRcvd,
+            "accept requires SYN_RCVD"
+        );
+        let listen = self
+            .listen
+            .as_mut()
+            .expect("accept requires a listening socket");
+        assert!(listen.in_backlog > 0, "accept from an empty backlog");
+        listen.in_backlog -= 1;
+        let regions = self.flows.regions[ci];
+        let item = self
+            .item(&self.config.system_call, self.ids.system_call, 0)
+            .touch(DataTouch::read(regions.sock, 0, 64));
+        let mut cycles = self.run(ctx, self.ids.system_call, item);
+        cycles += self.acquire_lock(ctx, ci, cross_cpu);
+        let item = self
+            .item(&self.config.tcp_accept, self.lifecycle.tcp_accept, 0)
+            .touch(DataTouch::read(regions.tcp_ctx, 0, 512))
+            .touch(DataTouch::write(regions.sock, 0, 256));
+        cycles += self.run(ctx, self.lifecycle.tcp_accept, item);
+        self.flows.states[ci] = ConnState::Established;
+        self.flows.established[ci] = true;
+        cycles
+    }
+
+    /// The server sends its FIN on `conn` after the response has fully
+    /// drained (`tx_unacked == 0`): `tcp_close` plus the FIN segment out
+    /// through the transmit path. The FIN occupies one in-flight/unacked
+    /// segment until [`on_fin_ack`](Self::on_fin_ack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range or not ESTABLISHED.
+    pub fn send_fin(&mut self, ctx: &mut ExecCtx<'_>, conn: ConnectionId, cross_cpu: bool) -> u64 {
+        let ci = self.slot_of(conn);
+        assert_eq!(
+            self.flows.states[ci],
+            ConnState::Established,
+            "send_fin requires ESTABLISHED"
+        );
+        let regions = self.flows.regions[ci];
+        let mut cycles = self.acquire_lock(ctx, ci, cross_cpu);
+        let item = self
+            .item(&self.config.tcp_close, self.ids.tcp_close, 0)
+            .touch(DataTouch::write(regions.tcp_ctx, 0, 768))
+            .touch(DataTouch::write(regions.sock, 0, 256));
+        cycles += self.run(ctx, self.ids.tcp_close, item);
+        let item = self
+            .item(&self.config.tcp_transmit_skb, self.ids.tcp_transmit_skb, 0)
+            .touch(DataTouch::read(regions.tcp_ctx, 0, 256));
+        cycles += self.run(ctx, self.ids.tcp_transmit_skb, item);
+        self.flows.states[ci] = ConnState::FinWait;
+        self.flows.established[ci] = false;
+        self.flows.tx_inflight[ci] += 1;
+        self.flows.tx_unacked[ci] += 1;
+        cycles
+    }
+
+    /// The peer's FIN-ACK arrives in the softirq: process the final ACK,
+    /// unhash, free the last skb. The connection is CLOSED afterwards and
+    /// the caller recycles the slot via [`flow_free`](Self::flow_free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range or not in FIN_WAIT.
+    pub fn on_fin_ack(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        conn: ConnectionId,
+        cross_cpu: bool,
+    ) -> u64 {
+        let ci = self.slot_of(conn);
+        assert_eq!(
+            self.flows.states[ci],
+            ConnState::FinWait,
+            "on_fin_ack requires FIN_WAIT"
+        );
+        let regions = self.flows.regions[ci];
+        let mut cycles = self.acquire_lock(ctx, ci, cross_cpu);
+        let item = self
+            .item(&self.config.tcp_v4_rcv, self.ids.tcp_v4_rcv, 0)
+            .touch(DataTouch::read(regions.tcp_ctx, 0, 1536))
+            .touch(DataTouch::write(regions.tcp_ctx, 0, 768));
+        cycles += self.run(ctx, self.ids.tcp_v4_rcv, item);
+        let item = self
+            .item(&self.config.tcp_fin, self.lifecycle.tcp_fin, 0)
+            .touch(DataTouch::write(regions.tcp_ctx, 0, 512))
+            .touch(DataTouch::write(regions.sock, 0, 128));
+        cycles += self.run(ctx, self.lifecycle.tcp_fin, item);
+        let slot = self.flows.meta_free_cursor[ci] % self.config.skb_meta_bytes;
+        self.flows.meta_free_cursor[ci] += 256;
+        let item = self
+            .item(&self.config.kfree_skb, self.ids.kfree_skb, 0)
+            .touch(DataTouch::write(regions.skb_meta, slot, 128));
+        cycles += self.run(ctx, self.ids.kfree_skb, item);
+        self.flows.tx_unacked[ci] = self.flows.tx_unacked[ci].saturating_sub(1);
+        self.flows.states[ci] = ConnState::Closed;
+        cycles
     }
 }
 

@@ -1,7 +1,7 @@
 //! Whole-machine determinism and seed-sensitivity guarantees.
 
 use affinity_repro::{
-    run_experiment, AffinityMode, Direction, ExperimentConfig, RunMetrics, SteerSpec,
+    run_experiment, AffinityMode, DataplaneMode, Direction, ExperimentConfig, RunMetrics, SteerSpec,
 };
 
 /// One golden cell: fixed seed and fixed message counts, deliberately
@@ -123,6 +123,34 @@ fn poll_mode_matches_committed_golden_snapshot() {
         lines.push(format!("{label}: {:?} {:?}", run.metrics, run.poll));
     }
     compare_or_bless("poll_mode.snap", &lines);
+}
+
+/// Guards the dynamic-flow lifecycle path: quick churn cells (4 CPUs,
+/// 24 connection slots, Flow Director steering) on both dataplanes.
+/// The snapshot covers the metrics *and* the lifecycle counters
+/// (accepts, completes, drops, FCT percentiles, drain state), so
+/// SYN-to-FIN state-machine or arena-recycling changes can't drift
+/// silently. Drain invariants are asserted outright: a finished churn
+/// run leaves no live flow slots and no steering-table entries behind.
+#[test]
+fn churn_matches_committed_golden_snapshot() {
+    let mut lines = Vec::new();
+    for plane in [DataplaneMode::Interrupt, DataplaneMode::Poll] {
+        let config = ExperimentConfig::churn(4, 24, SteerSpec::flow_director(), plane)
+            .quick()
+            .with_seed(0x5EED);
+        let label = format!("{plane:?} 4cpu 24slots FlowDir churn");
+        let run = run_experiment(&config).unwrap();
+        assert!(run.lifecycle.accepts > 0, "churn cell accepted nothing");
+        assert!(run.lifecycle.completes > 0, "churn cell completed nothing");
+        assert_eq!(run.lifecycle.final_live_flows, 0, "flow slots leaked");
+        assert_eq!(
+            run.lifecycle.final_table_entries, 0,
+            "steering-table entries leaked"
+        );
+        lines.push(format!("{label}: {:?} {:?}", run.metrics, run.lifecycle));
+    }
+    compare_or_bless("churn.snap", &lines);
 }
 
 #[test]

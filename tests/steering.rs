@@ -87,6 +87,72 @@ proptest! {
         }
     }
 
+    /// Flow Director filter install/teardown under arbitrary
+    /// accept/close interleavings stays in lockstep with a set-based
+    /// model: occupancy always equals the live-install count, capacity
+    /// rejects never install, a rejected flow keeps its static route,
+    /// and closing everything returns the table to exactly zero.
+    #[test]
+    fn flow_director_lifecycle_matches_a_set_model(
+        capacity in 1usize..9,
+        cpus in 1usize..9,
+        ops in prop::collection::vec((0usize..24, 0usize..8, any::<bool>()), 1..80),
+    ) {
+        let spec = SteerSpec {
+            placement: FlowPlacement::RssHash,
+            vectors: VectorLayout::SplitEven,
+            dynamic: DynamicSteer::FlowDirector {
+                table_entries: capacity,
+                resteer_cycles: 600,
+            },
+            pin_processes: false,
+        };
+        let mut policy = spec.build();
+        let mut counters = SteerCounters::default();
+        // The model: flow → last programmed CPU, bounded by capacity.
+        let mut model: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
+        let mut rejects = 0u64;
+        for &(flow, cpu, open) in &ops {
+            let cpu_id = CpuId::new((cpu % cpus) as u32);
+            if open {
+                policy.flow_opened(flow, cpu_id, &mut counters);
+                if model.contains_key(&flow) || model.len() < capacity {
+                    model.insert(flow, cpu_id.raw());
+                } else {
+                    rejects += 1;
+                }
+            } else {
+                policy.flow_closed(flow, &mut counters);
+                model.remove(&flow);
+            }
+            prop_assert_eq!(
+                policy.occupancy(),
+                Some((model.len(), capacity)),
+                "occupancy diverged from the model after {:?}",
+                (flow, cpu, open)
+            );
+            // The table steers installed flows to their programmed CPU
+            // and leaves everything else on its static placement.
+            match (policy.steer(flow, &mut counters), model.get(&flow)) {
+                (Some(d), Some(&want)) => prop_assert_eq!(d.target.raw(), want),
+                (None, None) => {}
+                (got, want) => prop_assert!(
+                    false,
+                    "steer/model mismatch for flow {flow}: {got:?} vs {want:?}"
+                ),
+            }
+        }
+        prop_assert_eq!(counters.table_rejects, rejects, "reject accounting diverged");
+        // Drain: closing every flow ever touched empties the table.
+        for &(flow, _, _) in &ops {
+            policy.flow_closed(flow, &mut counters);
+        }
+        prop_assert_eq!(policy.occupancy(), Some((0, capacity)), "table did not drain to zero");
+        for &(flow, _, _) in &ops {
+            prop_assert!(policy.steer(flow, &mut counters).is_none(), "stale filter survived drain");
+        }
+    }
+
     /// RSS placement is a pure function of the flow id and queue count:
     /// the worker-pool width (`REPRO_THREADS`) cannot leak into it.
     #[test]
