@@ -370,6 +370,12 @@ pub struct RunResult {
     /// Connection-lifecycle counters (all zero for the immortal-flow
     /// `ttcp` workloads, populated by server/churn runs).
     pub lifecycle: LifecycleCounters,
+    /// Host wall-clock seconds spent *constructing* the machine (region
+    /// slab provisioning, scheduler spawn, peers), as opposed to running
+    /// it. A host-side measurement only: it never feeds simulated
+    /// metrics or digests, so it varies run to run while everything else
+    /// stays bit-identical.
+    pub setup_wall_s: f64,
 }
 
 /// Builds the machine, runs the workload to completion and returns the
@@ -391,7 +397,9 @@ pub struct RunResult {
 /// # Ok::<(), sim_core::SimError>(())
 /// ```
 pub fn run_experiment(config: &ExperimentConfig) -> Result<RunResult> {
+    let setup = std::time::Instant::now();
     let mut machine = Machine::new(config)?;
+    let setup_wall_s = setup.elapsed().as_secs_f64();
     let metrics = machine.run();
     Ok(RunResult {
         config: config.clone(),
@@ -403,6 +411,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<RunResult> {
         poll: machine.poll_stats(),
         poll_per_cpu: machine.poll_stats_per_cpu(),
         lifecycle: machine.lifecycle_stats(),
+        setup_wall_s,
     })
 }
 
@@ -630,6 +639,50 @@ mod tests {
         let b = run_experiment(&config).unwrap();
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.steer, b.steer);
+    }
+
+    #[test]
+    fn aggregate_targets_bound_the_window_machine_wide() {
+        // With per-connection targets, 8 flows x 3 measured messages
+        // means 24 measured messages; with aggregate targets the same
+        // numbers are machine-wide totals — the knob the million-flow
+        // cells rely on to keep the run window independent of the
+        // provisioned flow count.
+        let mut config = ExperimentConfig::scale(Direction::Rx, 2, 8, AffinityMode::Rss);
+        config.workload.warmup_messages = 2;
+        config.workload.measure_messages = 3;
+        let per_conn = run_experiment(&config).unwrap();
+        assert_eq!(per_conn.metrics.messages, 24);
+        config.workload.aggregate_targets = true;
+        let aggregate = run_experiment(&config).unwrap();
+        assert_eq!(aggregate.metrics.messages, 3);
+        // Both runs are deterministic on their own terms.
+        let again = run_experiment(&config).unwrap();
+        assert_eq!(aggregate.metrics, again.metrics);
+    }
+
+    #[test]
+    fn quiet_provisioned_flows_do_not_perturb_the_streaming_set() {
+        // A machine with 512 provisioned flows streaming on the first 8
+        // runs the exact same measurement as a machine with only those 8:
+        // quiet flows hold state (arena slot, page region, parked task)
+        // but never source a frame, enter a bottom half, or run. The
+        // million-flow cells depend on this — the quiet tail must be
+        // construction cost only, not run-loop cost.
+        let mut small = ExperimentConfig::scale(Direction::Rx, 2, 8, AffinityMode::Rss);
+        small.workload.aggregate_targets = true;
+        small.workload.warmup_messages = 2;
+        small.workload.measure_messages = 6;
+        let baseline = run_experiment(&small).unwrap();
+        let mut wide = ExperimentConfig::scale(Direction::Rx, 2, 512, AffinityMode::Rss);
+        wide.workload = small.workload;
+        wide.workload.active_conns = 8;
+        let provisioned = run_experiment(&wide).unwrap();
+        assert_eq!(provisioned.metrics.messages, baseline.metrics.messages);
+        assert_eq!(
+            provisioned.metrics.wall_cycles,
+            baseline.metrics.wall_cycles
+        );
     }
 
     #[test]

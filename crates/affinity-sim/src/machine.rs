@@ -434,11 +434,20 @@ impl Machine {
             prof: Profiler::new(cpus),
             rng,
             // Steady state carries a few in-flight events per queue
-            // (wire segments, ACKs, coalescing timers); pre-size so the
-            // heap never reallocates mid-run.
+            // (wire segments, ACKs, coalescing timers) plus one peer
+            // window per *streaming* flow; pre-size so the heaps rarely
+            // reallocate mid-run. The budget is split across lanes —
+            // per-lane full capacity would multiply the reserve by the
+            // lane count, gigabytes of dead heap at 1M flows.
             events: ShardedEventQueue::with_capacity(
                 cpus + 1,
-                64 * total_queues + config.tunables.peer_window as usize * flows,
+                (64 * total_queues
+                    + config.tunables.peer_window as usize
+                        * match config.workload.active_conns {
+                            0 => flows,
+                            n => n.min(flows),
+                        })
+                .div_ceil(cpus + 1),
             ),
             ready: ReadyCpus::new(),
             steering,
@@ -618,15 +627,37 @@ impl Machine {
         // Generous: every message costs well under 10k loop iterations.
         let msgs = u64::from(self.config.workload.warmup_messages)
             + u64::from(self.config.workload.measure_messages);
-        10_000 * msgs * self.config.connections as u64 + 1_000_000
+        10_000 * msgs * self.message_target_scale() + 1_000_000
+    }
+
+    /// What one unit of `warmup_messages`/`measure_messages` means:
+    /// `connections` messages per unit historically, one message per
+    /// unit when the workload asks for aggregate targets (the
+    /// million-flow cells, where per-flow depth is the wrong knob).
+    /// The RX working set: how many connections the peers stream on.
+    /// Everything above this index holds provisioned state (arena slot,
+    /// page region, scheduler task) but never sources a frame.
+    fn streaming_conns(&self) -> usize {
+        match self.config.workload.active_conns {
+            0 => self.config.connections,
+            n => n.min(self.config.connections),
+        }
+    }
+
+    fn message_target_scale(&self) -> u64 {
+        if self.config.workload.aggregate_targets {
+            1
+        } else {
+            self.config.connections as u64
+        }
     }
 
     fn warmup_target(&self) -> u64 {
-        u64::from(self.config.workload.warmup_messages) * self.config.connections as u64
+        u64::from(self.config.workload.warmup_messages) * self.message_target_scale()
     }
 
     fn measure_target(&self) -> u64 {
-        u64::from(self.config.workload.measure_messages) * self.config.connections as u64
+        u64::from(self.config.workload.measure_messages) * self.message_target_scale()
     }
 
     /// The kernel-bypass run loop: no scheduler, no interrupts, no IPIs.
@@ -644,7 +675,7 @@ impl Machine {
             for ti in 0..self.tasks.len() {
                 self.tasks[ti].blocked = Some(BlockReason::RxData);
             }
-            for f in 0..self.config.connections {
+            for f in 0..self.streaming_conns() {
                 self.refill_peer_window(f, 0);
             }
         }
@@ -1286,11 +1317,12 @@ impl Machine {
             }
             Direction::Rx => {
                 // Receivers start blocked on data; the peers start
-                // streaming into every NIC.
+                // streaming into every NIC (the active working set only —
+                // provisioned-but-quiet flows never source a frame).
                 for i in 0..self.tasks.len() {
                     self.tasks[i].blocked = Some(BlockReason::RxData);
                 }
-                for f in 0..self.config.connections {
+                for f in 0..self.streaming_conns() {
                     self.refill_peer_window(f, 0);
                 }
             }
@@ -1950,8 +1982,17 @@ impl Machine {
             }
             return;
         }
+        // Only the streaming prefix can have staged work; the
+        // provisioned-but-quiet tail past `active_conns` never sources
+        // a frame, so scanning it would only burn host time (a quarter
+        // million no-op polls per interrupt at 1M flows). `queue_flows`
+        // is ascending, so the active flows are a strict prefix.
+        let streaming = self.streaming_conns();
         for i in 0..self.queue_flows[queue].len() {
             let flow = self.queue_flows[queue][i];
+            if flow >= streaming {
+                break;
+            }
             self.run_flow_bottom_half(c, queue, flow);
         }
     }

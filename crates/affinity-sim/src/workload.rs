@@ -48,6 +48,21 @@ pub struct Workload {
     pub warmup_messages: u32,
     /// Messages per connection measured.
     pub measure_messages: u32,
+    /// When true, `warmup_messages`/`measure_messages` are *aggregate*
+    /// machine-wide targets rather than per-connection multipliers. The
+    /// million-flow cells need this: their subject is construction and
+    /// footprint, and even one message per flow would make the run
+    /// window dwarf the thing being measured. Default false — every
+    /// per-connection workload keeps its exact historical semantics.
+    pub aggregate_targets: bool,
+    /// How many connections the peers actively stream on (RX direction).
+    /// `0` means all of them — the historical behaviour. The million-flow
+    /// cells provision the full population but stream on a bounded
+    /// working set: offered load past a few hundred flows per CPU is
+    /// receive livelock by construction (every cycle goes to interrupt
+    /// processing, the consumers never run), which drowns the thing those
+    /// cells measure — construction and per-flow state costs at scale.
+    pub active_conns: usize,
 }
 
 impl Workload {
@@ -69,6 +84,8 @@ impl Workload {
             message_bytes,
             warmup_messages: warmup,
             measure_messages: measure,
+            aggregate_targets: false,
+            active_conns: 0,
         }
     }
 
@@ -201,6 +218,8 @@ mod tests {
             message_bytes: 1000,
             warmup_messages: 1,
             measure_messages: 10,
+            aggregate_targets: false,
+            active_conns: 0,
         };
         assert_eq!(w.measured_bytes(8), 80_000);
     }

@@ -45,7 +45,7 @@ use bench::{
 use sim_cpu::EventCosts;
 
 /// PR number stamped on history entries appended to `BENCH_substrate.json`.
-const CURRENT_PR: u32 = 9;
+const CURRENT_PR: u32 = 10;
 
 /// History file the sweep subcommands record into and `--check` reads.
 const HISTORY_PATH: &str = "BENCH_substrate.json";
@@ -106,6 +106,37 @@ fn empty_filter_error(subcommand: &str, spec: &str, valid: &str) -> ! {
     eprintln!("repro {subcommand}: --filter {spec:?} matches no cells");
     eprintln!("  valid tokens: {valid}");
     std::process::exit(2);
+}
+
+/// Construction-throughput sanity bound for the million-flow cells, in
+/// host nanoseconds per provisioned flow. The incremental (pre-slab)
+/// path measured ~22,700 ns/flow building the 16-CPU x 100k-flow churn
+/// machine, and its per-flow cost *grows* with the flow count (each
+/// `add_region` resizes the directory and per-CPU tables), so a slab
+/// build drifting anywhere near this rate has silently fallen back to
+/// per-region provisioning. The default of a quarter of the incremental
+/// rate leaves headroom for slow CI hosts while sitting ~5x above the
+/// measured slab rate (~1,100 ns/flow); the ≥10x acceptance bar itself
+/// is read off the recorded `setup_wall_s` columns, where the hardware
+/// is the same on both sides of the comparison. Override with
+/// `REPRO_MAX_SETUP_NS_PER_FLOW`.
+const MAX_SETUP_NS_PER_FLOW: f64 = 22_700.0 / 4.0;
+
+/// Asserts the million-flow construction bound, then reports the
+/// achieved per-flow rate (visible in CI logs either way).
+fn assert_setup_bound(label: &str, setup_wall_s: f64, flows: usize) {
+    let bound = std::env::var("REPRO_MAX_SETUP_NS_PER_FLOW")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(MAX_SETUP_NS_PER_FLOW);
+    let ns_per_flow = setup_wall_s * 1e9 / flows as f64;
+    assert!(
+        ns_per_flow <= bound,
+        "{label}: construction ran at {ns_per_flow:.0} ns/flow, over the {bound:.0} ns/flow \
+         bound — the slab path has regressed toward incremental provisioning \
+         (override with REPRO_MAX_SETUP_NS_PER_FLOW)"
+    );
+    eprintln!("{label}: construction {ns_per_flow:.0} ns/flow (bound {bound:.0})");
 }
 
 /// Rejects `--check --filter`: the gate compares against rows recorded
@@ -397,19 +428,18 @@ fn perf(quick: bool, check: bool, filter: Option<&str>) {
     );
     let t0 = std::time::Instant::now();
     let results = run_pool(jobs, threads, |(dir, size, mode, seed)| {
-        if quick {
+        let r = if quick {
             let mut config = cell(dir, size, mode, seed);
             config.workload = config.workload.quick();
-            affinity_sim::run_experiment(&config)
-                .expect("valid experiment config")
-                .metrics
-                .wall_cycles
+            affinity_sim::run_experiment(&config).expect("valid experiment config")
         } else {
-            run_cell(dir, size, mode, seed).metrics.wall_cycles
-        }
+            run_cell(dir, size, mode, seed)
+        };
+        (r.metrics.wall_cycles, r.setup_wall_s)
     });
     let wall = t0.elapsed().as_secs_f64();
-    let digest = fnv_fold(results.iter().copied());
+    let setup: f64 = results.iter().map(|&(_, s)| s).sum();
+    let digest = fnv_fold(results.iter().map(|&(cycles, _)| cycles));
     if filter.is_some() {
         println!(
             "{cells} cells in {wall:.2} s ({rate:.1} cells/sec), digest {digest:016x}",
@@ -427,6 +457,7 @@ fn perf(quick: bool, check: bool, filter: Option<&str>) {
          \"benchmark\": \"{MATRIX_BENCHMARK} (2 dirs x {n_sizes} sizes x 4 modes x 2 seeds)\",\n    \
          \"cells\": {cells},\n    \"threads\": {threads},\n    \
          \"baseline_wall_s\": {baseline:.2},\n    \"current_wall_s\": {wall:.2},\n    \
+         \"setup_wall_s\": {setup:.2},\n    \
          \"speedup\": {speedup:.2},\n    \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
         n_sizes = PAPER_SIZES.len(),
         speedup = baseline / wall,
@@ -527,13 +558,15 @@ fn scale(quick: bool, check: bool, filter: Option<&str>) {
             r.metrics.wall_cycles,
             r.metrics.throughput_mbps(),
             r.metrics.cost_ghz_per_gbps(),
+            r.setup_wall_s,
         )
     });
     let wall = t0.elapsed().as_secs_f64();
-    let digest = fnv_fold(results.iter().map(|&(cycles, _, _)| cycles));
+    let setup: f64 = results.iter().map(|&(.., s)| s).sum();
+    let digest = fnv_fold(results.iter().map(|&(cycles, ..)| cycles));
 
     if filter.is_some() {
-        for (&(cpus, flows, mode), &(cycles, mbps, cost)) in jobs.iter().zip(&results) {
+        for (&(cpus, flows, mode), &(cycles, mbps, cost, _)) in jobs.iter().zip(&results) {
             println!(
                 "{cpus} cpus, {flows} flows, {}: {mbps:.0} Mb/s, {cost:.2} GHz/Gbps, {cycles} cycles",
                 mode.label(),
@@ -562,7 +595,7 @@ fn scale(quick: bool, check: bool, filter: Option<&str>) {
         let (cpus, flows, _) = jobs[row * MODES.len()];
         let cols: Vec<String> = chunk
             .iter()
-            .map(|&(_, mbps, _)| format!("{mbps:>9.0}"))
+            .map(|&(_, mbps, ..)| format!("{mbps:>9.0}"))
             .collect();
         println!("{cpus:>5} {flows:>6} | {}", cols.join(" "));
     }
@@ -572,7 +605,7 @@ fn scale(quick: bool, check: bool, filter: Option<&str>) {
         let (cpus, flows, _) = jobs[row * MODES.len()];
         let cols: Vec<String> = chunk
             .iter()
-            .map(|&(_, _, cost)| format!("{cost:>9.2}"))
+            .map(|&(_, _, cost, _)| format!("{cost:>9.2}"))
             .collect();
         println!("{cpus:>5} {flows:>6} | {}", cols.join(" "));
     }
@@ -581,7 +614,7 @@ fn scale(quick: bool, check: bool, filter: Option<&str>) {
         .iter()
         .zip(&results)
         .filter(|((_, flows, mode), _)| *flows == max_flows && *mode == AffinityMode::Rss)
-        .map(|((cpus, _, _), (_, mbps, _))| format!("{cpus} cpus -> {mbps:.0} Mb/s"))
+        .map(|((cpus, _, _), (_, mbps, ..))| format!("{cpus} cpus -> {mbps:.0} Mb/s"))
         .collect();
     println!("RSS scaling at {max_flows} flows: {}", rss_line.join(", "));
     println!(
@@ -599,6 +632,7 @@ fn scale(quick: bool, check: bool, filter: Option<&str>) {
              \"benchmark\": \"scale sweep (4 CPU counts x 3 flow counts x 4 modes, Rx 4KB)\",\n    \
              \"cells\": {cells},\n    \"threads\": {threads},\n    \
              \"current_wall_s\": {wall:.2},\n    \
+             \"setup_wall_s\": {setup:.2},\n    \
              \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
             rate = cells as f64 / wall,
         );
@@ -624,10 +658,11 @@ fn scale(quick: bool, check: bool, filter: Option<&str>) {
     }
     let r = affinity_sim::run_experiment(&config).expect("valid large scale config");
     let large_wall = t1.elapsed().as_secs_f64();
+    let large_setup = r.setup_wall_s;
     let large_digest = fnv_fold([r.metrics.wall_cycles]);
     println!(
         "large cell (16 cpus x 4096 flows, rss): {mbps:.0} Mb/s, {cost:.2} GHz/Gbps in \
-         {large_wall:.2} s, digest {large_digest:016x}",
+         {large_wall:.2} s (setup {large_setup:.2} s), digest {large_digest:016x}",
         mbps = r.metrics.throughput_mbps(),
         cost = r.metrics.cost_ghz_per_gbps(),
     );
@@ -647,8 +682,67 @@ fn scale(quick: bool, check: bool, filter: Option<&str>) {
              \"benchmark\": \"scale large cell (16 cpus x 4096 flows, rss, Rx 4KB)\",\n    \
              \"cells\": 1,\n    \"threads\": {threads},\n    \
              \"current_wall_s\": {large_wall:.2},\n    \
+             \"setup_wall_s\": {large_setup:.2},\n    \
              \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{large_digest:016x}\"\n  }}",
             rate = 1.0 / large_wall,
+        );
+        append_history(HISTORY_PATH, &json);
+    }
+
+    // The million-flow cell: 1M provisioned connections under RSS — the
+    // regime ROADMAP item 3 names, reachable only because the slab path
+    // made construction O(footprint) instead of O(flows x pages). The
+    // workload switches to *aggregate* message targets: the subject is
+    // provisioning and footprint at 1M live flows, and per-flow depth
+    // would multiply the run window by a million for no extra signal.
+    // The peers stream on a bounded working set (the large cell's 256
+    // flows per CPU); the full million streaming at once is receive
+    // livelock by construction — interrupt work alone saturates every
+    // CPU and the consumers never run. The other 99.6% of flows hold
+    // provisioned state, which is what the cell measures.
+    // Quick mode keeps the full 1M flows — construction is the point —
+    // on CI-sized CPU counts and a smaller window.
+    let (m_cpus, m_flows) = if quick {
+        (4, 1_000_000)
+    } else {
+        (16, 1_000_000)
+    };
+    eprintln!("scale 1M cell: {m_cpus} cpus x {m_flows} flows (aggregate targets)...");
+    let t2 = std::time::Instant::now();
+    let mut config = ExperimentConfig::scale(Direction::Rx, m_cpus, m_flows, AffinityMode::Rss);
+    config.workload.aggregate_targets = true;
+    config.workload.active_conns = 256 * m_cpus;
+    if quick {
+        config.workload.warmup_messages = 256;
+        config.workload.measure_messages = 1024;
+    } else {
+        config.workload.warmup_messages = 4_096;
+        config.workload.measure_messages = 16_384;
+    }
+    let r = affinity_sim::run_experiment(&config).expect("valid 1M scale config");
+    let m_wall = t2.elapsed().as_secs_f64();
+    let m_setup = r.setup_wall_s;
+    let m_digest = fnv_fold([r.metrics.wall_cycles]);
+    assert_setup_bound("scale 1M cell", m_setup, m_flows);
+    println!(
+        "1M cell ({m_cpus} cpus x {m_flows} flows, rss): {mbps:.0} Mb/s, {cost:.2} GHz/Gbps in \
+         {m_wall:.2} s (setup {m_setup:.2} s), digest {m_digest:016x}",
+        mbps = r.metrics.throughput_mbps(),
+        cost = r.metrics.cost_ghz_per_gbps(),
+    );
+    if check {
+        check_gate("scale 1M", "scale 1M cell", m_wall, quick, threads);
+    } else if quick {
+        eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
+    } else {
+        let json = format!(
+            "  {{\n    \"pr\": {CURRENT_PR},\n    \
+             \"benchmark\": \"scale 1M cell ({m_cpus} cpus x {m_flows} flows, rss, Rx 4KB)\",\n    \
+             \"cells\": 1,\n    \"threads\": {threads},\n    \
+             \"current_wall_s\": {m_wall:.2},\n    \
+             \"setup_wall_s\": {m_setup:.2},\n    \
+             \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{m_digest:016x}\"\n  }}",
+            rate = 1.0 / m_wall,
         );
         append_history(HISTORY_PATH, &json);
     }
@@ -746,9 +840,11 @@ fn steer(quick: bool, check: bool, filter: Option<&str>) {
             r.metrics.cost_ghz_per_gbps(),
             r.metrics.total.machine_clears as f64 / r.metrics.messages.max(1) as f64,
             r.steer,
+            r.setup_wall_s,
         )
     });
     let wall = t0.elapsed().as_secs_f64();
+    let setup: f64 = results.iter().map(|&(.., s)| s).sum();
     let digest = fnv_fold(results.iter().map(|&(cycles, ..)| cycles));
 
     println!("steering sweep (Rx, 4KB messages, 4 flows/CPU, 4-queue NIC per 4 CPUs)");
@@ -756,7 +852,7 @@ fn steer(quick: bool, check: bool, filter: Option<&str>) {
         "{:>5} {:>17} | {:>9} {:>9} {:>11} {:>9} {:>8} {:>8}",
         "cpus", "policy", "BW (Mb/s)", "GHz/Gbps", "clears/msg", "resteers", "rejects", "ooo"
     );
-    for (row, &(_, mbps, cost, clears, counters)) in results.iter().enumerate() {
+    for (row, &(_, mbps, cost, clears, counters, _)) in results.iter().enumerate() {
         let (cpus, variant) = jobs[row];
         println!(
             "{cpus:>5} {:>17} | {mbps:>9.0} {cost:>9.2} {clears:>11.1} {:>9} {:>8} {:>8}",
@@ -801,6 +897,7 @@ fn steer(quick: bool, check: bool, filter: Option<&str>) {
              \"benchmark\": \"steering sweep ({n_cpus} CPU counts x 4 policies, Rx 4KB)\",\n    \
              \"cells\": {cells},\n    \"threads\": {threads},\n    \
              \"current_wall_s\": {wall:.2},\n    \
+             \"setup_wall_s\": {setup:.2},\n    \
              \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
             n_cpus = cpu_grid.len(),
             rate = cells as f64 / wall,
@@ -902,9 +999,11 @@ fn poll(quick: bool, check: bool, filter: Option<&str>) {
             r.metrics.cost_ghz_per_gbps(),
             r.metrics.interrupts,
             r.poll,
+            r.setup_wall_s,
         )
     });
     let wall = t0.elapsed().as_secs_f64();
+    let setup: f64 = results.iter().map(|&(.., s)| s).sum();
     let digest = fnv_fold(results.iter().map(|&(cycles, ..)| cycles));
 
     println!("interrupt-vs-poll sweep (Rx, 4KB messages, 4 flows/CPU, 4-queue NIC per 4 CPUs)");
@@ -912,7 +1011,7 @@ fn poll(quick: bool, check: bool, filter: Option<&str>) {
         "{:>5} {:>12} | {:>9} {:>9} {:>6} {:>6} {:>8} {:>12}",
         "cpus", "dataplane", "BW (Mb/s)", "GHz/Gbps", "irqs", "spin%", "polls", "empty polls"
     );
-    for (row, &(_, mbps, cost, irqs, counters)) in results.iter().enumerate() {
+    for (row, &(_, mbps, cost, irqs, counters, _)) in results.iter().enumerate() {
         let (cpus, variant) = jobs[row];
         println!(
             "{cpus:>5} {:>12} | {mbps:>9.0} {cost:>9.2} {irqs:>6} {:>6.1} {:>8} {:>12}",
@@ -959,6 +1058,7 @@ fn poll(quick: bool, check: bool, filter: Option<&str>) {
              \"benchmark\": \"poll sweep ({n_cpus} CPU counts x 4 dataplanes, Rx 4KB)\",\n    \
              \"cells\": {cells},\n    \"threads\": {threads},\n    \
              \"current_wall_s\": {wall:.2},\n    \
+             \"setup_wall_s\": {setup:.2},\n    \
              \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
             n_cpus = cpu_grid.len(),
             rate = cells as f64 / wall,
@@ -969,8 +1069,9 @@ fn poll(quick: bool, check: bool, filter: Option<&str>) {
 
 /// One churn cell's harvest: simulated wall cycles, completed
 /// connections per wall second (the churn headline), processing cost,
-/// and the lifecycle counters.
-type ChurnCell = (u64, f64, f64, affinity_sim::LifecycleCounters);
+/// the lifecycle counters, and the host wall spent constructing the
+/// machine (setup, never digested).
+type ChurnCell = (u64, f64, f64, affinity_sim::LifecycleCounters, f64);
 
 /// Runs one churn cell, enforces the drain invariants every churn run
 /// must satisfy (no live flows, no leaked steering-table entries at
@@ -988,17 +1089,24 @@ fn run_churn_cell(config: &ExperimentConfig, label: &str) -> ChurnCell {
     let m = &r.metrics;
     let seconds = m.wall_cycles as f64 / m.freq.hertz() as f64;
     let kconn_s = lc.completes as f64 / seconds / 1e3;
-    (m.wall_cycles, kconn_s, m.cost_ghz_per_gbps(), lc)
+    (
+        m.wall_cycles,
+        kconn_s,
+        m.cost_ghz_per_gbps(),
+        lc,
+        r.setup_wall_s,
+    )
 }
 
 /// Folds churn cells into the sweep digest: wall cycles *and* the
 /// lifecycle counters, so a refactor that keeps timing but changes
-/// accept/drop accounting still moves the digest.
+/// accept/drop accounting still moves the digest. Setup wall is host
+/// time and never folded.
 fn churn_digest(cells: &[ChurnCell]) -> u64 {
     fnv_fold(
-        cells
-            .iter()
-            .flat_map(|&(cycles, _, _, lc)| [cycles, lc.accepts, lc.completes, lc.backlog_drops]),
+        cells.iter().flat_map(|&(cycles, _, _, lc, _)| {
+            [cycles, lc.accepts, lc.completes, lc.backlog_drops]
+        }),
     )
 }
 
@@ -1110,6 +1218,7 @@ fn churn(quick: bool, check: bool, filter: Option<&str>) {
         run_churn_cell(&config, &format!("{name} {cpus}cpu {flows}flows"))
     });
     let wall = t0.elapsed().as_secs_f64();
+    let setup: f64 = results.iter().map(|&(.., s)| s).sum();
     let digest = churn_digest(&results);
 
     println!("connection-churn sweep (Tx RPC, SYN-to-FIN lifecycle, mice + 1-in-10 elephants)");
@@ -1117,7 +1226,7 @@ fn churn(quick: bool, check: bool, filter: Option<&str>) {
         "{:>5} {:>6} {:>12} | {:>8} {:>9} {:>8} {:>7} {:>9} {:>9}",
         "cpus", "flows", "plane", "kconn/s", "GHz/Gbps", "accepts", "drops", "fct p50", "fct p99"
     );
-    for (row, &(_, kconn_s, cost, lc)) in results.iter().enumerate() {
+    for (row, &(_, kconn_s, cost, lc, _)) in results.iter().enumerate() {
         let (cpus, flows, variant) = jobs[row];
         println!(
             "{cpus:>5} {flows:>6} {:>12} | {kconn_s:>8.1} {cost:>9.2} {:>8} {:>7} {:>9} {:>9}",
@@ -1165,6 +1274,7 @@ fn churn(quick: bool, check: bool, filter: Option<&str>) {
              \"benchmark\": \"churn sweep ({n_cpus} CPU counts x {n_flows} flow targets x 4 planes, Tx RPC)\",\n    \
              \"cells\": {cells},\n    \"threads\": {threads},\n    \
              \"current_wall_s\": {wall:.2},\n    \
+             \"setup_wall_s\": {setup:.2},\n    \
              \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{digest:016x}\"\n  }}",
             n_cpus = cpu_grid.len(),
             n_flows = flow_grid.len(),
@@ -1201,11 +1311,12 @@ fn churn(quick: bool, check: bool, filter: Option<&str>) {
     let cell = run_churn_cell(&config, "churn large cell");
     let large_wall = t1.elapsed().as_secs_f64();
     let large_digest = churn_digest(&[cell]);
-    let (_, kconn_s, cost, lc) = cell;
+    let (_, kconn_s, cost, lc, large_setup) = cell;
     println!(
         "large cell ({large_cpus} cpus x {large_flows} flows, flowdir, mice): {kconn_s:.1} \
          kconn/s, {cost:.2} GHz/Gbps, {accepts} accepts, {drops} drops, fct p50/p99 \
-         {p50}/{p99} cycles in {large_wall:.2} s, digest {large_digest:016x}",
+         {p50}/{p99} cycles in {large_wall:.2} s (setup {large_setup:.2} s), digest \
+         {large_digest:016x}",
         accepts = lc.accepts,
         drops = lc.backlog_drops,
         p50 = lc.fct_p50_cycles,
@@ -1227,8 +1338,81 @@ fn churn(quick: bool, check: bool, filter: Option<&str>) {
              \"benchmark\": \"churn large cell ({large_cpus} cpus x {large_flows} flows, flowdir, mice)\",\n    \
              \"cells\": 1,\n    \"threads\": {threads},\n    \
              \"current_wall_s\": {large_wall:.2},\n    \
+             \"setup_wall_s\": {large_setup:.2},\n    \
              \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{large_digest:016x}\"\n  }}",
             rate = 1.0 / large_wall,
+        );
+        append_history(HISTORY_PATH, &json);
+    }
+
+    // The million-flow cell: a 1M-slot arena under Flow Director on the
+    // interrupt plane, mice only. The slot population is the subject —
+    // slab provisioning, per-flow region layout, and the steering table
+    // at 1M entries — so the connection budget is overridden to a
+    // modest absolute count instead of `ServerWorkload::churn`'s
+    // half-population scaling (1.5M connections would take hours and
+    // add nothing). Every arrival lands in an empty arena, completes,
+    // and tears down; the drain invariants in `run_churn_cell` prove
+    // the 1M-slot arena and table end empty. Quick mode keeps the full
+    // 1M slots — construction is the point — on CI-sized CPU counts.
+    let (m_cpus, m_flows) = if quick {
+        (4, 1_000_000)
+    } else {
+        (16, 1_000_000)
+    };
+    eprintln!("churn 1M cell: {m_cpus} cpus x {m_flows} flow slots (mice only)...");
+    let t2 = std::time::Instant::now();
+    let mut config = ExperimentConfig::churn(
+        m_cpus,
+        m_flows,
+        SteerSpec {
+            pin_processes: true,
+            ..SteerSpec::flow_director()
+        },
+        DataplaneMode::Interrupt,
+    );
+    config.server = config.server.map(|s| {
+        let mut s = s.mice_only();
+        s.warmup_conns = if quick { 64 } else { 4_000 };
+        s.measure_conns = if quick { 256 } else { 12_000 };
+        // With 1M slots every arrival is open-loop (nothing queues behind
+        // a full arena), so the arrival process must outlast the warmup
+        // completions or the measurement window sees zero accepts. The
+        // default 2k-cycle gap packs the whole wave into the first few
+        // tens of M cycles while the overbooked pile-up pushes mice FCTs
+        // past 300M cycles — every accept lands before the window opens.
+        // A 100k gap spreads arrivals over `conns * 100k` cycles, far
+        // past the last measured completion in both modes.
+        s.arrival_gap_cycles = 100_000;
+        s
+    });
+    let cell = run_churn_cell(&config, "churn 1M cell");
+    let m_wall = t2.elapsed().as_secs_f64();
+    let m_digest = churn_digest(&[cell]);
+    let (_, kconn_s, cost, lc, m_setup) = cell;
+    assert_setup_bound("churn 1M cell", m_setup, m_flows);
+    println!(
+        "1M cell ({m_cpus} cpus x {m_flows} flow slots, flowdir, mice): {kconn_s:.1} \
+         kconn/s, {cost:.2} GHz/Gbps, {accepts} accepts, {drops} drops, fct p50/p99 \
+         {p50}/{p99} cycles in {m_wall:.2} s (setup {m_setup:.2} s), digest {m_digest:016x}",
+        accepts = lc.accepts,
+        drops = lc.backlog_drops,
+        p50 = lc.fct_p50_cycles,
+        p99 = lc.fct_p99_cycles,
+    );
+    if check {
+        check_gate("churn 1M", "churn 1M cell", m_wall, quick, threads);
+    } else if quick {
+        eprintln!("quick smoke run: not recorded in {HISTORY_PATH}");
+    } else {
+        let json = format!(
+            "  {{\n    \"pr\": {CURRENT_PR},\n    \
+             \"benchmark\": \"churn 1M cell ({m_cpus} cpus x {m_flows} flow slots, flowdir, mice)\",\n    \
+             \"cells\": 1,\n    \"threads\": {threads},\n    \
+             \"current_wall_s\": {m_wall:.2},\n    \
+             \"setup_wall_s\": {m_setup:.2},\n    \
+             \"cells_per_sec\": {rate:.1},\n    \"digest\": \"{m_digest:016x}\"\n  }}",
+            rate = 1.0 / m_wall,
         );
         append_history(HISTORY_PATH, &json);
     }
@@ -1238,7 +1422,7 @@ fn churn(quick: bool, check: bool, filter: Option<&str>) {
 /// valid tokens (the same listing the exit-2 paths print) and the
 /// newest recorded history row, digest included.
 fn list_sweeps() {
-    const SWEEPS: [(&str, &str, &str); 6] = [
+    const SWEEPS: [(&str, &str, &str); 9] = [
         (
             "perf",
             "full figure matrix",
@@ -1248,6 +1432,16 @@ fn list_sweeps() {
             "scale",
             "scale sweep",
             "--filter <mode>/<cpus>/<flows>  (mode no|irq|full|rss; cpus 2,4,8,16; flows 8,64,256)",
+        ),
+        (
+            "scale (large cell)",
+            "scale large cell",
+            "no filter grammar — runs after every unfiltered scale sweep",
+        ),
+        (
+            "scale (1M cell)",
+            "scale 1M cell",
+            "no filter grammar — runs after every unfiltered scale sweep",
         ),
         (
             "steer",
@@ -1265,6 +1459,7 @@ fn list_sweeps() {
             "--filter <plane>/<policy>/<cpus>/<flows>  (plane Irq|Poll; policy RSS|FlowDir; cpus 4,8,16; flows 1000,10000)",
         ),
         ("churn (large cell)", "churn large cell", "no filter grammar — runs after every unfiltered churn sweep"),
+        ("churn (1M cell)", "churn 1M cell", "no filter grammar — runs after every unfiltered churn sweep"),
     ];
     println!("recorded sweeps ({HISTORY_PATH}):");
     for (name, benchmark_prefix, tokens) in SWEEPS {
@@ -1275,8 +1470,13 @@ fn list_sweeps() {
                 let digest = row
                     .digest
                     .map_or_else(|| "(none recorded)".to_string(), |d| format!("{d:016x}"));
+                // PR 1-9 rows predate the setup/run split and carry no
+                // setup_wall_s; render only what the row records.
+                let setup = row
+                    .setup_wall
+                    .map_or_else(String::new, |s| format!(" (setup {s:.2} s)"));
                 println!(
-                    "    latest: PR {}, {:.2} s at {} worker(s), digest {digest}",
+                    "    latest: PR {}, {:.2} s{setup} at {} worker(s), digest {digest}",
                     row.pr, row.wall_s, row.threads
                 );
             }

@@ -204,6 +204,9 @@ pub struct HistoryEntry {
     pub threads: usize,
     /// Recorded wall seconds.
     pub wall_s: f64,
+    /// Recorded machine-construction wall seconds — the setup share of
+    /// `wall_s` (`None` on rows predating the setup/run split).
+    pub setup_wall: Option<f64>,
     /// Recorded result digest (`None` on rows predating the field).
     pub digest: Option<u64>,
 }
@@ -226,6 +229,7 @@ fn scan_history(path: &str, benchmark_prefix: &str) -> Vec<HistoryEntry> {
     };
     let mut rows = Vec::new();
     let (mut pr, mut thr, mut wall) = (None::<u32>, None::<usize>, None::<f64>);
+    let mut setup = None::<f64>;
     let mut digest = None::<u64>;
     let mut benchmark: Option<String> = None;
     for line in text.lines() {
@@ -236,6 +240,8 @@ fn scan_history(path: &str, benchmark_prefix: &str) -> Vec<HistoryEntry> {
             thr = v.parse().ok();
         } else if let Some(v) = json_field(t, "current_wall_s") {
             wall = v.parse().ok();
+        } else if let Some(v) = json_field(t, "setup_wall_s") {
+            setup = v.parse().ok();
         } else if let Some(v) = json_field(t, "digest") {
             digest = u64::from_str_radix(v.trim_matches('"'), 16).ok();
         } else if let Some(v) = json_field(t, "benchmark") {
@@ -249,11 +255,12 @@ fn scan_history(path: &str, benchmark_prefix: &str) -> Vec<HistoryEntry> {
                         pr,
                         threads,
                         wall_s,
+                        setup_wall: setup,
                         digest,
                     });
                 }
             }
-            (pr, thr, wall, digest, benchmark) = (None, None, None, None, None);
+            (pr, thr, wall, setup, digest, benchmark) = (None, None, None, None, None, None);
         }
     }
     rows
@@ -521,25 +528,31 @@ mod tests {
         let path = path.to_str().expect("utf-8 temp path");
         let _ = std::fs::remove_file(path);
 
-        // A legacy row without a digest field parses to `None`; a modern
-        // row round-trips the hex digest string back to the u64.
+        // A legacy row without digest/setup fields parses to `None`s; a
+        // modern row round-trips the hex digest string back to the u64
+        // and carries its setup share.
         append_history(
             path,
             "  {\n    \"pr\": 5,\n    \"benchmark\": \"poll sweep\",\n    \
              \"threads\": 1,\n    \"current_wall_s\": 1.00\n  }",
         );
+        let legacy = latest_history_entry(path, "poll sweep", None).unwrap();
+        assert_eq!(legacy.setup_wall, None);
+        assert_eq!(legacy.digest, None);
         append_history(
             path,
-            "  {\n    \"pr\": 9,\n    \"benchmark\": \"poll sweep\",\n    \
+            "  {\n    \"pr\": 10,\n    \"benchmark\": \"poll sweep\",\n    \
              \"threads\": 1,\n    \"current_wall_s\": 1.10,\n    \
+             \"setup_wall_s\": 0.25,\n    \
              \"digest\": \"5b4b100cbd3a3908\"\n  }",
         );
 
         let newest = latest_history_entry(path, "poll sweep", None).unwrap();
         assert_eq!(newest.digest, Some(0x5b4b_100c_bd3a_3908));
+        assert_eq!(newest.setup_wall, Some(0.25));
         let rows = latest_entries_by_threads(path, "poll sweep");
         assert_eq!(rows.len(), 1, "both rows are threads=1; newest wins");
-        assert_eq!(rows[0].pr, 9);
+        assert_eq!(rows[0].pr, 10);
 
         let _ = std::fs::remove_file(path);
     }

@@ -39,7 +39,9 @@
 //! assert_eq!(warm.llc_misses, 0); // now resident
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the single audited `zeroed` module
+// (calloc-backed vector growth for O(1)-fault bulk provisioning).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
@@ -47,9 +49,10 @@ mod config;
 mod region;
 mod system;
 mod tlb;
+mod zeroed;
 
 pub use cache::{AccessKind, Cache, CacheStats};
 pub use config::MemoryConfig;
-pub use region::{MemRegion, RegionId, RegionTable};
-pub use system::{FetchResult, MemorySystem, TouchResult};
+pub use region::{MemRegion, RegionId, RegionName, RegionPlan, RegionSpan, RegionTable};
+pub use system::{ConstructionLayout, FetchResult, MemorySystem, TouchResult};
 pub use tlb::{Tlb, TlbStats};

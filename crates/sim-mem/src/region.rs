@@ -34,18 +34,137 @@ impl fmt::Display for RegionId {
     }
 }
 
+/// Interned region name: stored compactly, rendered to a `String` only
+/// in reports and `Debug` output.
+///
+/// Machine construction at the million-flow scale allocates six regions
+/// per flow; naming each with an eager `format!` costs a heap allocation
+/// per region. The dominant shape — `"conn{index}.{field}"` — is carried
+/// here as a static prefix, a flow index, and a static suffix, so bulk
+/// provisioning performs zero format allocations. Ad-hoc names (NIC
+/// queues, IRQ handlers) still flow through [`RegionName::Owned`].
+///
+/// `Display` and `Debug` observe the *rendered* string, so an interned
+/// name is indistinguishable from the eager `String` it replaces in
+/// every report and snapshot. Equality is render-based for the same
+/// reason: `Static("a.text") == Owned("a.text".into())`. Under the real
+/// serde (the workspace ships a no-op stand-in), `Serialize` should emit
+/// the rendered string and `Deserialize` should produce
+/// [`RegionName::Owned`].
+#[derive(Clone, Serialize, Deserialize)]
+pub enum RegionName {
+    /// A fixed label, e.g. `"tcp_v4_rcv.text"` — free to construct.
+    Static(&'static str),
+    /// An arbitrary pre-rendered name (NIC queues, IRQ handlers).
+    Owned(String),
+    /// Rendered as `"{prefix}{index}.{suffix}"`, e.g. `conn3.tcp_ctx`.
+    Indexed {
+        /// Static label before the index (`"conn"`).
+        prefix: &'static str,
+        /// Flow (or other entity) index.
+        index: u32,
+        /// Static field label after the dot (`"tcp_ctx"`).
+        suffix: &'static str,
+    },
+}
+
+impl RegionName {
+    /// Interned `"{prefix}{index}.{suffix}"` name — no allocation.
+    #[must_use]
+    pub const fn indexed(prefix: &'static str, index: u32, suffix: &'static str) -> Self {
+        RegionName::Indexed {
+            prefix,
+            index,
+            suffix,
+        }
+    }
+
+    /// Renders the name to an owned `String`, identical to the eager
+    /// string the pre-interning code would have built.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            RegionName::Static(s) => (*s).to_string(),
+            RegionName::Owned(s) => s.clone(),
+            RegionName::Indexed {
+                prefix,
+                index,
+                suffix,
+            } => format!("{prefix}{index}.{suffix}"),
+        }
+    }
+}
+
+impl fmt::Display for RegionName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionName::Static(s) => f.write_str(s),
+            RegionName::Owned(s) => f.write_str(s),
+            RegionName::Indexed {
+                prefix,
+                index,
+                suffix,
+            } => write!(f, "{prefix}{index}.{suffix}"),
+        }
+    }
+}
+
+impl fmt::Debug for RegionName {
+    /// Debug output matches the old eager-`String` representation
+    /// (`"conn3.tcp_ctx"`, quoted), so snapshots and dumps are
+    /// variant-blind.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.render())
+    }
+}
+
+impl PartialEq for RegionName {
+    /// Render-based equality: two names are equal iff they render to the
+    /// same string, regardless of interning variant.
+    fn eq(&self, other: &Self) -> bool {
+        use RegionName::{Owned, Static};
+        match (self, other) {
+            (Static(a), Static(b)) => a == b,
+            (Owned(a), Owned(b)) => a == b,
+            (Static(a), Owned(b)) | (Owned(b), Static(a)) => *a == b.as_str(),
+            _ => self.render() == other.render(),
+        }
+    }
+}
+
+impl Eq for RegionName {}
+
+impl From<&'static str> for RegionName {
+    fn from(s: &'static str) -> Self {
+        RegionName::Static(s)
+    }
+}
+
+impl From<String> for RegionName {
+    fn from(s: String) -> Self {
+        RegionName::Owned(s)
+    }
+}
+
 /// A contiguous, page-aligned span of simulated physical memory.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemRegion {
-    name: String,
+    name: RegionName,
     base: u64,
     size: u64,
 }
 
 impl MemRegion {
-    /// Human-readable name ("conn3.tcp_context", "nic0.rx_ring", …).
+    /// Human-readable name ("conn3.tcp_context", "nic0.rx_ring", …),
+    /// rendered from the interned form.
     #[must_use]
-    pub fn name(&self) -> &str {
+    pub fn name(&self) -> String {
+        self.name.render()
+    }
+
+    /// The interned name, for allocation-free formatting via `Display`.
+    #[must_use]
+    pub fn raw_name(&self) -> &RegionName {
         &self.name
     }
 
@@ -98,10 +217,16 @@ impl RegionTable {
         }
     }
 
+    /// Reserves table capacity for `additional` more regions, so a bulk
+    /// provisioning pass never reallocates mid-loop.
+    pub fn reserve(&mut self, additional: usize) {
+        self.regions.reserve(additional);
+    }
+
     /// Allocates a region of at least `size` bytes (rounded up to one line
     /// is the caller's concern; zero-size regions are rounded up to one
     /// byte so `addr()` never divides by zero).
-    pub fn add(&mut self, name: impl Into<String>, size: u64) -> RegionId {
+    pub fn add(&mut self, name: impl Into<RegionName>, size: u64) -> RegionId {
         let size = size.max(1);
         let id = RegionId(self.regions.len() as u32);
         let region = MemRegion {
@@ -150,6 +275,104 @@ impl RegionTable {
     #[must_use]
     pub fn footprint(&self) -> u64 {
         self.next_base
+    }
+}
+
+/// An ordered batch of region requests for
+/// [`MemorySystem::add_regions_bulk`](crate::MemorySystem::add_regions_bulk).
+///
+/// The plan is just `(name, size)` pairs in allocation order; building
+/// one costs no formatting when the names are interned
+/// ([`RegionName::indexed`]), so a million-flow provisioning pass
+/// allocates exactly one `Vec`.
+#[derive(Debug, Default)]
+pub struct RegionPlan {
+    entries: Vec<(RegionName, u64)>,
+}
+
+impl RegionPlan {
+    /// Creates an empty plan with room for `capacity` requests.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        RegionPlan {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a region request. Requests are allocated in insertion
+    /// order, exactly as an equivalent sequence of `add_region` calls.
+    pub fn add(&mut self, name: impl Into<RegionName>, size: u64) {
+        self.entries.push((name.into(), size));
+    }
+
+    /// Number of requests in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the plan holds no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consumes the plan, yielding the requests in allocation order.
+    pub(crate) fn into_entries(self) -> Vec<(RegionName, u64)> {
+        self.entries
+    }
+}
+
+/// Dense handle range returned by a bulk region allocation: the `len`
+/// regions with consecutive ids starting at `first`.
+///
+/// `RegionId`s are allocated sequentially, so a single bulk call owns a
+/// contiguous id range; this span converts a slot index back into the
+/// exact `RegionId` the equivalent incremental `add` loop would have
+/// returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionSpan {
+    first: u32,
+    len: u32,
+}
+
+impl RegionSpan {
+    /// Creates a span covering ids `first .. first + len`.
+    #[must_use]
+    pub(crate) fn new(first: usize, len: usize) -> Self {
+        RegionSpan {
+            first: first as u32,
+            len: len as u32,
+        }
+    }
+
+    /// The `i`-th region id in the span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> RegionId {
+        assert!(i < self.len as usize, "region span index out of range");
+        RegionId(self.first + i as u32)
+    }
+
+    /// Number of regions in the span.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the span holds no regions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the span's region ids in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = RegionId> {
+        let first = self.first;
+        (0..self.len).map(move |i| RegionId(first + i))
     }
 }
 
@@ -202,8 +425,55 @@ mod tests {
         t.add("y", 1);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
-        let names: Vec<&str> = t.iter().map(|(_, r)| r.name()).collect();
+        let names: Vec<String> = t.iter().map(|(_, r)| r.name()).collect();
         assert_eq!(names, ["x", "y"]);
+    }
+
+    #[test]
+    fn interned_names_render_like_eager_strings() {
+        let eager = RegionName::Owned("conn3.tcp_ctx".to_string());
+        let interned = RegionName::indexed("conn", 3, "tcp_ctx");
+        assert_eq!(interned.render(), "conn3.tcp_ctx");
+        assert_eq!(format!("{interned}"), format!("{eager}"));
+        assert_eq!(format!("{interned:?}"), format!("{eager:?}"));
+        assert_eq!(format!("{interned:?}"), "\"conn3.tcp_ctx\"");
+        let st = RegionName::Static("tcp_v4_rcv.text");
+        assert_eq!(st.render(), "tcp_v4_rcv.text");
+        assert_eq!(format!("{st:?}"), "\"tcp_v4_rcv.text\"");
+    }
+
+    #[test]
+    fn region_name_equality_is_render_based() {
+        assert_eq!(
+            RegionName::Static("a.text"),
+            RegionName::Owned("a.text".to_string())
+        );
+        assert_eq!(
+            RegionName::indexed("conn", 12, "sock"),
+            RegionName::Owned("conn12.sock".to_string())
+        );
+        assert_ne!(
+            RegionName::indexed("conn", 12, "sock"),
+            RegionName::indexed("conn", 21, "sock")
+        );
+    }
+
+    #[test]
+    fn region_span_indexes_sequential_ids() {
+        let span = RegionSpan::new(5, 3);
+        assert_eq!(span.len(), 3);
+        assert!(!span.is_empty());
+        assert_eq!(span.get(0).index(), 5);
+        assert_eq!(span.get(2).index(), 7);
+        let ids: Vec<usize> = span.iter().map(RegionId::index).collect();
+        assert_eq!(ids, [5, 6, 7]);
+        assert!(RegionSpan::new(9, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn region_span_bounds_checked() {
+        let _ = RegionSpan::new(0, 2).get(2);
     }
 
     #[test]

@@ -74,7 +74,7 @@ use sim_core::CpuId;
 use crate::cache::{AccessKind, Cache, CacheStats};
 
 use crate::config::MemoryConfig;
-use crate::region::{RegionId, RegionTable};
+use crate::region::{RegionId, RegionName, RegionPlan, RegionSpan, RegionTable};
 use crate::tlb::{Tlb, TlbStats};
 
 /// Per-CPU cache stack.
@@ -92,9 +92,47 @@ struct CpuCaches {
 struct DirEntry {
     /// Bitmask of CPUs that may hold the line.
     sharers: u32,
-    /// CPU holding the line modified, if any.
-    owner: Option<u8>,
+    /// CPU holding the line modified, plus one; `0` means no owner.
+    /// Packed (instead of `Option<u8>`, whose `None` bit pattern is
+    /// unspecified) so the all-zero byte pattern *is* the default entry,
+    /// letting bulk provisioning grow the directory with untouched
+    /// `alloc_zeroed` pages.
+    owner_plus1: u8,
 }
+
+impl DirEntry {
+    #[inline]
+    fn owner(self) -> Option<u8> {
+        self.owner_plus1.checked_sub(1)
+    }
+
+    #[inline]
+    fn owner_is(self, cpu: u8) -> bool {
+        self.owner_plus1 == cpu + 1
+    }
+
+    #[inline]
+    fn set_owner(&mut self, cpu: u8) {
+        self.owner_plus1 = cpu + 1;
+    }
+
+    #[inline]
+    fn clear_owner(&mut self) {
+        self.owner_plus1 = 0;
+    }
+
+    #[inline]
+    fn take_owner(&mut self) -> Option<u8> {
+        let o = self.owner();
+        self.owner_plus1 = 0;
+        o
+    }
+}
+
+// SAFETY: all-zero bytes decode to `sharers: 0, owner_plus1: 0` — no
+// sharers, no owner — which is exactly `DirEntry::default()`.
+#[allow(unsafe_code)]
+unsafe impl crate::zeroed::ZeroDefault for DirEntry {}
 
 /// Residency summary for one (CPU, region) pair, backing the touch fast
 /// path.
@@ -238,6 +276,77 @@ impl CodeSummary {
     }
 }
 
+/// Slots per [`LazySlots`] chunk (must be a power of two).
+const LAZY_CHUNK: usize = 1 << 12;
+
+/// Flat per-(region, CPU) slot table whose logical length grows in O(1).
+///
+/// [`Summary`] and [`CodeSummary`] are not zero-default types (they hold
+/// `Vec`s and `u64::MAX` sentinels), so the `alloc_zeroed` trick that
+/// keeps the directory and the integer tables untouched at construction
+/// (see [`crate::zeroed`]) cannot apply. Instead, growth just records the
+/// new logical length; a slot's backing chunk materializes to defaults on
+/// first *mutable* access, and shared reads of never-written slots see
+/// one canonical default instance. A million-flow machine provisions
+/// tens of millions of slots but its run only ever touches the regions
+/// its workload reaches, so almost all chunks stay unmaterialized.
+///
+/// Chunked (4096 slots) rather than prefix-grown so a sparse touch at a
+/// high region index — e.g. a victim-eviction bump against a late
+/// region — materializes one chunk, not the whole prefix.
+///
+/// Indistinguishable from `Vec<T>` + `resize_with(len, T::default)` to
+/// any caller: `get` of an unmaterialized slot returns a default value,
+/// and `get_mut` hands out a default the caller may mutate in place.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LazySlots<T> {
+    chunks: Vec<Option<Box<[T]>>>,
+    len: usize,
+    /// What every unmaterialized slot reads as (always `T::default()`).
+    default: T,
+}
+
+impl<T: Default + Clone> LazySlots<T> {
+    fn new() -> Self {
+        LazySlots {
+            chunks: Vec::new(),
+            len: 0,
+            default: T::default(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Grows the logical length; O(chunk count) pointer bookkeeping only.
+    fn grow_to(&mut self, len: usize) {
+        debug_assert!(len >= self.len, "slot tables never shrink");
+        self.len = len;
+        let chunks = len.div_ceil(LAZY_CHUNK);
+        if self.chunks.len() < chunks {
+            self.chunks.resize_with(chunks, || None);
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &T {
+        debug_assert!(i < self.len, "slot {i} out of range ({})", self.len);
+        match &self.chunks[i / LAZY_CHUNK] {
+            Some(c) => &c[i % LAZY_CHUNK],
+            None => &self.default,
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "slot {i} out of range ({})", self.len);
+        let chunk = self.chunks[i / LAZY_CHUNK]
+            .get_or_insert_with(|| vec![T::default(); LAZY_CHUNK].into_boxed_slice());
+        &mut chunk[i % LAZY_CHUNK]
+    }
+}
+
 /// Result of one data touch: how many lines were accessed and how far each
 /// access had to go.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -329,8 +438,9 @@ pub struct MemorySystem {
     page_region: Vec<u32>,
     /// `summaries[region * cpus + cpu]`: residency fast-path state, flat
     /// and region-contiguous so a touch indexes it with the same offset
-    /// arithmetic as `gens`.
-    summaries: Vec<Summary>,
+    /// arithmetic as `gens`. Lazily materialized (see [`LazySlots`]) so
+    /// million-region machines only pay for the slots their run reaches.
+    summaries: LazySlots<Summary>,
     /// `gens[region * cpus + cpu]`: the (CPU, region) change generation
     /// guarding that summary's claims. Kept flat and region-contiguous so
     /// the fill path can bump every CPU's view of a region with one short
@@ -350,8 +460,8 @@ pub struct MemorySystem {
     /// overflow pages attributed to it; those lines must not count).
     region_last: Vec<u64>,
     /// `code_summaries[region * cpus + cpu]`: trace-cache fast-path state,
-    /// laid out like `summaries`.
-    code_summaries: Vec<CodeSummary>,
+    /// laid out (and lazily materialized) like `summaries`.
+    code_summaries: LazySlots<CodeSummary>,
     /// Reused per-line sharer-mask buffer for [`MemorySystem::dma_write`]'s
     /// two-pass directory delta (gather sharers, then apply per CPU).
     #[serde(skip)]
@@ -468,11 +578,11 @@ impl MemorySystem {
             regions: RegionTable::new(config.page_size as u64),
             directory: Vec::new(),
             page_region: Vec::new(),
-            summaries: Vec::new(),
+            summaries: LazySlots::new(),
             gens: Vec::new(),
             excl: Vec::new(),
             region_last: Vec::new(),
-            code_summaries: Vec::new(),
+            code_summaries: LazySlots::new(),
             dma_sharers: Vec::new(),
             remote_invals: Vec::new(),
             remote_cleans: Vec::new(),
@@ -489,7 +599,7 @@ impl MemorySystem {
     }
 
     /// Allocates a named region of simulated memory.
-    pub fn add_region(&mut self, name: impl Into<String>, bytes: u64) -> RegionId {
+    pub fn add_region(&mut self, name: impl Into<RegionName>, bytes: u64) -> RegionId {
         let id = self.regions.add(name, bytes);
         let (base, size) = {
             let r = self.regions.get(id);
@@ -514,14 +624,105 @@ impl MemorySystem {
             *p = id.index() as u32;
         }
         let ncpus = self.cpus.len();
-        self.summaries
-            .extend(std::iter::repeat_with(Summary::default).take(ncpus));
+        let slots = self.regions.len() * ncpus;
+        self.summaries.grow_to(slots);
         self.gens.extend(std::iter::repeat_n(0, ncpus));
         self.excl.extend(std::iter::repeat_n(0, ncpus));
         self.region_last.push((base + size - 1) >> self.line_shift);
-        self.code_summaries
-            .extend(std::iter::repeat_with(CodeSummary::default).take(ncpus));
+        self.code_summaries.grow_to(slots);
         id
+    }
+
+    /// Allocates every region in `plan` in one batched pass, returning
+    /// the dense id range. Produces state byte-identical to calling
+    /// [`add_region`](Self::add_region) once per plan entry, in order —
+    /// same `RegionId`s, bases, footprint, directory/page-table lengths,
+    /// and page ownership — but pays O(1) resizes instead of O(n).
+    ///
+    /// Layout-identity argument (property-tested in
+    /// `tests/proptests.rs`):
+    ///
+    /// - **Ids and bases.** `RegionTable::add` is independent of the
+    ///   surrounding bookkeeping, so pushing all table entries first
+    ///   yields the same ids and bases as the interleaved sequence.
+    /// - **Structure lengths.** The incremental path grows `directory`
+    ///   and `page_region` monotonically to per-region high-water marks
+    ///   (`cover_i`), so the final lengths are the running *maximum*
+    ///   over all entries — computed here in one scan, applied in one
+    ///   `resize`. The resize fill values (`DirEntry::default()`, page
+    ///   owner `0`) match the incremental fills, and cells beyond every
+    ///   page-run write end up `0` on both paths.
+    /// - **Page ownership.** Each region writes the run
+    ///   `[first_page_i, pages_i)`; runs *overlap* (an earlier large
+    ///   region's cover can reach past a later small region's), and the
+    ///   incremental path resolves overlaps last-writer-wins in
+    ///   allocation order. Replaying the same writes in the same order
+    ///   over the pre-sized table reproduces the exact final ownership.
+    ///   A reverse-order or watermark fill would *not*.
+    /// - **Per-CPU vectors.** `summaries`/`gens`/`excl`/
+    ///   `code_summaries` grow by exactly `ncpus` defaults per region
+    ///   regardless of interleaving; one `resize` to
+    ///   `regions.len() * ncpus` is equivalent.
+    ///
+    /// `cover_i` needs the footprint *as of* entry `i`, which for all
+    /// but the last entry equals the next region's base (the table
+    /// advances `next_base` to exactly the next region's base), and for
+    /// the last entry is the final footprint.
+    pub fn add_regions_bulk(&mut self, plan: RegionPlan) -> RegionSpan {
+        let n = plan.len();
+        let first = self.regions.len();
+        let span = RegionSpan::new(first, n);
+        if n == 0 {
+            return span;
+        }
+        self.regions.reserve(n);
+        for (name, bytes) in plan.into_entries() {
+            self.regions.add(name, bytes);
+        }
+        let footprint = self.regions.footprint();
+        let mut max_lines = self.directory.len();
+        let mut max_pages = self.page_region.len();
+        for i in 0..n {
+            let r = self.regions.get(span.get(i));
+            let after = if i + 1 < n {
+                self.regions.get(span.get(i + 1)).base()
+            } else {
+                footprint
+            };
+            let cover = (r.base() + 2 * r.size()).max(after);
+            max_lines = max_lines.max((cover >> self.line_shift) as usize + 1);
+            max_pages = max_pages.max((cover >> self.page_shift) as usize + 1);
+        }
+        // Zero-touch growth: the grown tails are fresh `alloc_zeroed`
+        // pages (content-identical to the incremental `resize` fills, see
+        // `crate::zeroed`), faulted in only where the run later reaches —
+        // at million-flow sizes the directory alone is gigabytes, and
+        // eagerly dirtying it would dominate construction.
+        crate::zeroed::grow_zeroed(&mut self.directory, max_lines);
+        crate::zeroed::grow_zeroed(&mut self.page_region, max_pages);
+        self.region_last.reserve(n);
+        for i in 0..n {
+            let id = span.get(i);
+            let r = self.regions.get(id);
+            let (base, size) = (r.base(), r.size());
+            let after = if i + 1 < n {
+                self.regions.get(span.get(i + 1)).base()
+            } else {
+                footprint
+            };
+            let cover = (base + 2 * size).max(after);
+            let first_page = (base >> self.page_shift) as usize;
+            let pages = (cover >> self.page_shift) as usize + 1;
+            self.page_region[first_page..pages].fill(id.index() as u32);
+            self.region_last.push((base + size - 1) >> self.line_shift);
+        }
+        let ncpus = self.cpus.len();
+        let slots = self.regions.len() * ncpus;
+        self.summaries.grow_to(slots);
+        crate::zeroed::grow_zeroed(&mut self.gens, slots);
+        crate::zeroed::grow_zeroed(&mut self.excl, slots);
+        self.code_summaries.grow_to(slots);
+        span
     }
 
     /// The region directory.
@@ -619,7 +820,7 @@ impl MemorySystem {
         // Touches that run past the region end (offset wrap) take the
         // slow path — the summary only covers the region's own lines.
         let gen = gens[si];
-        let s = &summaries[si];
+        let s = summaries.get(si);
         if s.is_current(gen) && (!write || all_excl) && last <= region_last_line {
             let lo = (first - region_first_line) as usize;
             cpus[idx]
@@ -641,7 +842,7 @@ impl MemorySystem {
         // recycled first; otherwise replacement round-robins. The choice
         // has no observable effect, so any deterministic policy is fine.
         let (span_idx, mut span_slots) = {
-            let s = &mut summaries[si];
+            let s = summaries.get_mut(si);
             let i = if let Some(i) = s.spans.iter().position(|c| c.gen != gen) {
                 i
             } else if s.spans.len() < SPAN_CLAIMS {
@@ -722,7 +923,7 @@ impl MemorySystem {
                         let old = entry.sharers;
                         let others = old & !me_bit;
                         entry.sharers = old & me_bit;
-                        entry.owner = Some(me);
+                        entry.set_owner(me);
                         if others != 0 {
                             let rid = page_region[(line >> lpp) as usize];
                             note_bump(bump_masks, rid, others);
@@ -789,8 +990,8 @@ impl MemorySystem {
                                 let e = &mut directory[victim as usize];
                                 let vold = e.sharers;
                                 e.sharers = vold & !me_bit;
-                                if e.owner == Some(me) {
-                                    e.owner = None;
+                                if e.owner_is(me) {
+                                    e.clear_owner();
                                 }
                                 let vrid = page_region[(victim >> lpp) as usize];
                                 if victim <= region_last[vrid as usize] {
@@ -838,13 +1039,13 @@ impl MemorySystem {
                             );
                             continue;
                         }
-                        if let Some(owner) = entry.owner {
+                        if let Some(owner) = entry.owner() {
                             if owner as usize != idx {
                                 // Remote modified copy: force writeback,
                                 // keep shared. Owner-only change: the
                                 // sharer set is untouched, so `excl`
                                 // does not move.
-                                entry.owner = None;
+                                entry.clear_owner();
                                 note_bump(
                                     bump_masks,
                                     page_region[(line >> lpp) as usize],
@@ -865,8 +1066,8 @@ impl MemorySystem {
                             let e = &mut directory[victim as usize];
                             let vold = e.sharers;
                             e.sharers = vold & !me_bit;
-                            if e.owner == Some(me) {
-                                e.owner = None;
+                            if e.owner_is(me) {
+                                e.clear_owner();
                             }
                             let vrid = page_region[(victim >> lpp) as usize];
                             if victim <= region_last[vrid as usize] {
@@ -914,7 +1115,7 @@ impl MemorySystem {
         // the live `excl` count, so the directory is not read at all.
         let gen_now = gens[si];
         if result.l1_misses == 0 {
-            let s = &mut summaries[si];
+            let s = summaries.get_mut(si);
             if !s.is_current(gen_now)
                 && s.failed_gen != gen_now
                 && region_lines <= cpus[idx].l1.capacity_lines() as u64
@@ -951,7 +1152,7 @@ impl MemorySystem {
         // whose events bump other summaries. The generation is stamped
         // after the walk, absorbing bumps the walk's own victims caused;
         // unclaimable spans leave their claim withdrawn.
-        let s = &mut summaries[si];
+        let s = summaries.get_mut(si);
         let c = &mut s.spans[span_idx];
         c.first = first;
         c.last = last;
@@ -1017,7 +1218,7 @@ impl MemorySystem {
         // with every line in the trace cache. An all-hit fetch touches
         // neither the directory nor the outer levels, so only the TC's
         // LRU/hit bookkeeping remains — applied by slot.
-        let cs = &code_summaries[si];
+        let cs = code_summaries.get(si);
         if cs.covers(first, last) {
             cpus[idx].tc.touch_resident_run(&cs.slots, first, false);
             return result;
@@ -1027,7 +1228,7 @@ impl MemorySystem {
         // Reuse the summary's slot buffer to record where each span line
         // lands, so promotion below costs no extra residency scan. The
         // summary's old claim dies with its slots (see the walk's end).
-        let mut slot_buf = std::mem::take(&mut code_summaries[si].slots);
+        let mut slot_buf = std::mem::take(&mut code_summaries.get_mut(si).slots);
         slot_buf.clear();
         bump_masks.clear();
         let all_mask = if ncpus >= 32 {
@@ -1046,7 +1247,7 @@ impl MemorySystem {
             // dies with the victim.
             if let Some(victim) = tc.evicted {
                 let vr = page_region[(victim >> lpp) as usize] as usize;
-                code_summaries[vr * ncpus + idx].bump();
+                code_summaries.get_mut(vr * ncpus + idx).bump();
             }
             if directory[line as usize].sharers & me_bit != 0 {
                 // In this CPU's LLC (sharer bit ⟺ LLC residency): the L2
@@ -1076,8 +1277,8 @@ impl MemorySystem {
                 let e = &mut directory[victim as usize];
                 let vold = e.sharers;
                 e.sharers = vold & !me_bit;
-                if e.owner == Some(me) {
-                    e.owner = None;
+                if e.owner_is(me) {
+                    e.clear_owner();
                 }
                 let vrid = page_region[(victim >> lpp) as usize];
                 if victim <= region_last[vrid as usize] {
@@ -1106,7 +1307,7 @@ impl MemorySystem {
         // victims caused. Larger missy spans self-conflict mid-fetch;
         // their slots are stale, so the claim is explicitly withdrawn
         // (the buffer was stolen from the summary above).
-        let cs = &mut code_summaries[si];
+        let cs = code_summaries.get_mut(si);
         cs.span_first = first;
         cs.span_last = last;
         cs.slots = slot_buf;
@@ -1224,7 +1425,7 @@ impl MemorySystem {
             cpus, directory, ..
         } = self;
         for line in first..=last {
-            if let Some(owner) = directory[line as usize].owner.take() {
+            if let Some(owner) = directory[line as usize].take_owner() {
                 let c = &mut cpus[owner as usize];
                 c.l1.clean(line);
                 c.l2.clean(line);
@@ -1361,6 +1562,25 @@ impl MemorySystem {
         }
     }
 
+    /// Snapshot of the construction-time layout: directory and page-table
+    /// shape, full page ownership, per-region last-line indexes, and the
+    /// per-CPU vector lengths. Two systems built by different provisioning
+    /// paths (incremental `add_region` loop vs `add_regions_bulk`) must
+    /// compare equal here — the equivalence the bulk path's property test
+    /// pins.
+    #[must_use]
+    pub fn construction_layout(&self) -> ConstructionLayout {
+        ConstructionLayout {
+            directory_lines: self.directory.len(),
+            page_region: self.page_region.clone(),
+            region_last: self.region_last.clone(),
+            gens: self.gens.clone(),
+            excl: self.excl.clone(),
+            summary_slots: self.summaries.len(),
+            code_summary_slots: self.code_summaries.len(),
+        }
+    }
+
     /// Resets every hit/miss counter, keeping cache contents (used to
     /// discard warm-up before measurement, as the paper's steady-state
     /// profiling does).
@@ -1374,6 +1594,26 @@ impl MemorySystem {
             c.dtlb.reset_stats();
         }
     }
+}
+
+/// Construction-layout snapshot returned by
+/// [`MemorySystem::construction_layout`]; see there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstructionLayout {
+    /// `directory` length in cache lines.
+    pub directory_lines: usize,
+    /// Full page-ownership table (`page -> region index`).
+    pub page_region: Vec<u32>,
+    /// Per-region last-line index.
+    pub region_last: Vec<u64>,
+    /// Per-region × per-CPU residency generations.
+    pub gens: Vec<u64>,
+    /// Per-region × per-CPU live exclusivity counts.
+    pub excl: Vec<u32>,
+    /// `summaries` slot count (`regions × ncpus`).
+    pub summary_slots: usize,
+    /// `code_summaries` slot count (`regions × ncpus`).
+    pub code_summary_slots: usize,
 }
 
 #[cfg(test)]

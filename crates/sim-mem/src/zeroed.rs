@@ -1,0 +1,102 @@
+//! Zero-touch vector growth for bulk provisioning.
+//!
+//! Growing the directory and the flat per-(region, CPU) tables to
+//! million-flow sizes with `Vec::resize` writes every new element, which
+//! at multi-gigabyte sizes means the *kernel page-fault* cost of dirtying
+//! the whole allocation up front — the dominant term in large-machine
+//! construction, dwarfing the simulator's own work. For element types
+//! whose default value is the all-zero byte pattern, the same final state
+//! is reachable without touching the tail at all: allocate the grown
+//! buffer with [`alloc_zeroed`] (fresh zero pages from the OS, faulted in
+//! lazily and only where the run actually reaches) and copy just the
+//! existing prefix in.
+
+// The one place in the crate where unsafe is allowed; every block carries
+// its safety argument.
+#![allow(unsafe_code)]
+
+use std::alloc::{alloc_zeroed, handle_alloc_error, Layout};
+
+/// Marker for types whose all-zero byte pattern is a valid value equal to
+/// `T::default()`.
+///
+/// # Safety
+///
+/// Implementors guarantee that every field of `T` is valid — and compares
+/// equal to its `Default` — when all of its bytes are zero. No padding
+/// requirements arise (zeroed padding is always fine), but types holding
+/// pointers, `NonZero*`, enums with non-zero niches, or non-zero default
+/// values must not implement this.
+pub(crate) unsafe trait ZeroDefault: Copy + 'static {}
+
+// SAFETY: zero is the `Default` of the primitive integers.
+unsafe impl ZeroDefault for u32 {}
+// SAFETY: as above.
+unsafe impl ZeroDefault for u64 {}
+
+/// Grows `v` to `new_len` elements, filling the tail with
+/// `T::default()`, without faulting the tail's pages.
+///
+/// Behaviorally identical to `v.resize(new_len, T::default())` for
+/// [`ZeroDefault`] types, but the new tail lives on untouched
+/// `alloc_zeroed` pages: only the copied prefix (and whatever the caller
+/// later actually writes) costs real memory and fault time. No-op when
+/// `new_len <= v.len()`.
+///
+/// # Panics
+///
+/// Panics if the byte size of the grown buffer overflows `isize`.
+pub(crate) fn grow_zeroed<T: ZeroDefault>(v: &mut Vec<T>, new_len: usize) {
+    if new_len <= v.len() {
+        return;
+    }
+    debug_assert!(size_of::<T>() > 0, "zero-sized types need no storage");
+    let layout = Layout::array::<T>(new_len).expect("grown buffer overflows isize");
+    // SAFETY: `layout` has non-zero size (`new_len > len >= 0` and `T` is
+    // not a ZST).
+    let ptr = unsafe { alloc_zeroed(layout) }.cast::<T>();
+    if ptr.is_null() {
+        handle_alloc_error(layout);
+    }
+    // SAFETY: `ptr` holds `new_len >= v.len()` elements and cannot
+    // overlap `v`'s live buffer (fresh allocation); `T: Copy` so a byte
+    // copy is a valid duplication and the old elements need no drop. The
+    // rebuilt Vec takes ownership of `ptr` with the exact `Layout::array`
+    // size and alignment the global allocator handed out, and its tail is
+    // all-zero bytes — a valid `T::default()` by the `ZeroDefault`
+    // contract. The old Vec frees its own buffer on drop.
+    unsafe {
+        std::ptr::copy_nonoverlapping(v.as_ptr(), ptr, v.len());
+        *v = Vec::from_raw_parts(ptr, new_len, new_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_matches_resize() {
+        let mut a: Vec<u64> = (0..17).collect();
+        let mut b = a.clone();
+        grow_zeroed(&mut a, 1000);
+        b.resize(1000, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrink_and_same_len_are_noops() {
+        let mut v: Vec<u32> = vec![7; 5];
+        grow_zeroed(&mut v, 3);
+        assert_eq!(v, vec![7; 5]);
+        grow_zeroed(&mut v, 5);
+        assert_eq!(v, vec![7; 5]);
+    }
+
+    #[test]
+    fn grow_from_empty() {
+        let mut v: Vec<u32> = Vec::new();
+        grow_zeroed(&mut v, 64);
+        assert_eq!(v, vec![0u32; 64]);
+    }
+}

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use sim_core::CpuId;
-use sim_mem::{AccessKind, Cache, MemoryConfig, MemorySystem, Tlb};
+use sim_mem::{AccessKind, Cache, MemoryConfig, MemorySystem, RegionName, RegionPlan, Tlb};
 
 proptest! {
     /// Hits + misses always equals accesses, and residency never exceeds
@@ -148,5 +148,43 @@ proptest! {
             }
             m.verify_incremental_state();
         }
+    }
+
+    /// `add_regions_bulk` is byte-identical to a loop of `add_region`
+    /// calls: same `RegionId`s, names, bases, sizes, footprint, directory
+    /// and page-table shape, full page ownership, and per-CPU vector
+    /// state — for arbitrary size sequences (including zero-size regions
+    /// and the overlap case where a large region's cover runs past later
+    /// small regions' pages), optionally on top of pre-existing
+    /// incrementally-added regions.
+    #[test]
+    fn bulk_region_allocation_matches_incremental(
+        pre in prop::collection::vec(1u64..5000, 0..4),
+        sizes in prop::collection::vec(0u64..40_000, 1..40),
+    ) {
+        let mut inc = MemorySystem::new(MemoryConfig::tiny(3));
+        let mut bulk = MemorySystem::new(MemoryConfig::tiny(3));
+        for (i, &s) in pre.iter().enumerate() {
+            let a = inc.add_region(format!("pre{i}"), s);
+            let b = bulk.add_region(format!("pre{i}"), s);
+            prop_assert_eq!(a, b);
+        }
+        let mut plan = RegionPlan::with_capacity(sizes.len());
+        let mut inc_ids = Vec::with_capacity(sizes.len());
+        for (i, &s) in sizes.iter().enumerate() {
+            inc_ids.push(inc.add_region(format!("r{i}.buf"), s));
+            plan.add(RegionName::indexed("r", i as u32, "buf"), s);
+        }
+        let span = bulk.add_regions_bulk(plan);
+        prop_assert_eq!(span.len(), sizes.len());
+        for (i, &want) in inc_ids.iter().enumerate() {
+            prop_assert_eq!(span.get(i), want);
+            let (ri, rb) = (inc.regions().get(want), bulk.regions().get(want));
+            prop_assert_eq!(ri, rb, "region {} diverged", i);
+        }
+        prop_assert_eq!(inc.regions().len(), bulk.regions().len());
+        prop_assert_eq!(inc.regions().footprint(), bulk.regions().footprint());
+        prop_assert_eq!(inc.construction_layout(), bulk.construction_layout());
+        bulk.verify_incremental_state();
     }
 }

@@ -51,5 +51,5 @@ mod sampling;
 pub use counters::{PollCounters, SteerCounters};
 pub use profiler::{ProfScratch, Profiler};
 pub use registry::{FuncId, FunctionMeta, FunctionRegistry};
-pub use report::{symbol_report, SampleView, SymbolRow};
+pub use report::{region_map_report, symbol_report, SampleView, SymbolRow};
 pub use sampling::{sample_profile, sampling_distortion, SampledRow, SamplingConfig};

@@ -100,6 +100,43 @@ pub fn symbol_report(
     rows
 }
 
+/// Renders the report's "memory map" section: one row per region in
+/// allocation order — base address, size, and the region's name.
+///
+/// Names are stored interned ([`sim_mem::RegionName`]) since the bulk
+/// provisioning path landed; this is the report surface that resolves
+/// them, and the rendering is defined to be byte-identical to the eager
+/// `String` names the pre-interning code built (`conn3.tcp_ctx` and
+/// friends). A golden snapshot over a per-flow slab pins that promise.
+///
+/// `limit` truncates the listing (use `usize::MAX` for all); truncation
+/// is reported in the header so a clipped map never reads as complete.
+#[must_use]
+pub fn region_map_report(regions: &sim_mem::RegionTable, limit: usize) -> String {
+    let shown = regions.len().min(limit);
+    let mut out = format!(
+        "memory map: {} regions, {} bytes{}\n{:>12} {:>10}  region\n",
+        regions.len(),
+        regions.footprint(),
+        if shown < regions.len() {
+            format!(" (first {shown} shown)")
+        } else {
+            String::new()
+        },
+        "base",
+        "bytes",
+    );
+    for (_, r) in regions.iter().take(limit) {
+        out.push_str(&format!(
+            "{:#012x} {:>10}  {}\n",
+            r.base(),
+            r.size(),
+            r.raw_name()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +222,37 @@ mod tests {
             10,
         );
         assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn region_map_resolves_interned_names_like_eager_strings() {
+        use sim_mem::{RegionName, RegionTable};
+        let mut interned = RegionTable::new(4096);
+        let mut eager = RegionTable::new(4096);
+        for flow in 0..3u32 {
+            for (suffix, size) in [("tcp_ctx", 1344), ("sock", 1472), ("skb_data", 65536)] {
+                interned.add(RegionName::indexed("conn", flow, suffix), size);
+                eager.add(format!("conn{flow}.{suffix}"), size);
+            }
+        }
+        let a = region_map_report(&interned, usize::MAX);
+        let b = region_map_report(&eager, usize::MAX);
+        assert_eq!(a, b, "interned names must render like the eager strings");
+        assert!(a.contains("conn2.skb_data"));
+        assert!(a.starts_with("memory map: 9 regions"));
+    }
+
+    #[test]
+    fn region_map_reports_truncation() {
+        use sim_mem::RegionTable;
+        let mut t = RegionTable::new(4096);
+        for i in 0..4u32 {
+            t.add(format!("r{i}"), 64);
+        }
+        let clipped = region_map_report(&t, 2);
+        assert!(clipped.contains("(first 2 shown)"));
+        assert_eq!(clipped.lines().count(), 4);
+        assert!(!region_map_report(&t, 8).contains("shown"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 use sim_core::ConnectionId;
-use sim_mem::{MemorySystem, RegionId};
+use sim_mem::{MemorySystem, RegionId, RegionName, RegionPlan};
 
 use crate::config::StackConfig;
 use crate::congestion::CongestionState;
@@ -158,8 +158,28 @@ impl FlowArena {
         }
     }
 
+    /// The six per-flow region `(suffix, size)` requests, in the exact
+    /// order [`insert`](Self::insert) has always allocated them — the
+    /// bulk slab path replays this same sequence.
+    fn region_requests(config: &StackConfig, max_message: u64) -> [(&'static str, u64); 6] {
+        let app_buf = max_message.max(4096);
+        [
+            ("tcp_ctx", config.tcp_ctx_bytes),
+            ("sock", config.sock_bytes),
+            ("skb_meta", config.skb_meta_bytes),
+            ("skb_data", config.skb_data_bytes),
+            ("tx_app_buf", app_buf),
+            ("rx_app_buf", app_buf),
+        ]
+    }
+
     /// Allocates the connection's memory regions and appends a fresh slot
     /// with empty protocol state.
+    ///
+    /// The production path is [`provision_all`](Self::provision_all);
+    /// this single-flow form is the reference implementation the
+    /// bulk-vs-loop equivalence test compares against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn insert(
         &mut self,
         id: ConnectionId,
@@ -168,16 +188,68 @@ impl FlowArena {
         rx_dma_buf: RegionId,
         max_message: u64,
     ) -> FlowId {
-        let prefix = format!("conn{}", id.index());
+        let conn = id.index() as u32;
+        let [tcp_ctx, sock, skb_meta, skb_data, tx_app_buf, rx_app_buf] =
+            Self::region_requests(config, max_message).map(|(suffix, size)| {
+                mem.add_region(RegionName::indexed("conn", conn, suffix), size)
+            });
         let regions = ConnectionRegions {
-            tcp_ctx: mem.add_region(format!("{prefix}.tcp_ctx"), config.tcp_ctx_bytes),
-            sock: mem.add_region(format!("{prefix}.sock"), config.sock_bytes),
-            skb_meta: mem.add_region(format!("{prefix}.skb_meta"), config.skb_meta_bytes),
-            skb_data: mem.add_region(format!("{prefix}.skb_data"), config.skb_data_bytes),
-            tx_app_buf: mem.add_region(format!("{prefix}.tx_app_buf"), max_message.max(4096)),
-            rx_app_buf: mem.add_region(format!("{prefix}.rx_app_buf"), max_message.max(4096)),
+            tcp_ctx,
+            sock,
+            skb_meta,
+            skb_data,
+            tx_app_buf,
+            rx_app_buf,
             rx_dma_buf,
         };
+        self.push_slot(id, regions, config)
+    }
+
+    /// Pre-provisions `conn_dma.len()` connection slots in one pass: the
+    /// per-flow regions are carved out of simulated memory as a single
+    /// contiguous strided slab (six regions per flow, flow-major — the
+    /// exact allocation order an [`insert`](Self::insert) loop produces,
+    /// so region ids, names, and bases are bit-identical), then every
+    /// slot is appended with fresh protocol state. Churn-mode
+    /// `alloc`/`free` recycles these slots and never allocates regions
+    /// at runtime.
+    pub(crate) fn provision_all(
+        &mut self,
+        mem: &mut MemorySystem,
+        config: &StackConfig,
+        conn_dma: &[RegionId],
+        max_message: u64,
+    ) {
+        let requests = Self::region_requests(config, max_message);
+        let mut plan = RegionPlan::with_capacity(requests.len() * conn_dma.len());
+        for conn in 0..conn_dma.len() as u32 {
+            for &(suffix, size) in &requests {
+                plan.add(RegionName::indexed("conn", conn, suffix), size);
+            }
+        }
+        let slab = mem.add_regions_bulk(plan);
+        for (i, &rx_dma_buf) in conn_dma.iter().enumerate() {
+            let stride = requests.len() * i;
+            let regions = ConnectionRegions {
+                tcp_ctx: slab.get(stride),
+                sock: slab.get(stride + 1),
+                skb_meta: slab.get(stride + 2),
+                skb_data: slab.get(stride + 3),
+                tx_app_buf: slab.get(stride + 4),
+                rx_app_buf: slab.get(stride + 5),
+                rx_dma_buf,
+            };
+            self.push_slot(ConnectionId::new(i as u32), regions, config);
+        }
+    }
+
+    /// Appends one live slot with fresh protocol state.
+    fn push_slot(
+        &mut self,
+        id: ConnectionId,
+        regions: ConnectionRegions,
+        config: &StackConfig,
+    ) -> FlowId {
         let index = self.ids.len() as u32;
         self.generations.push(0);
         self.ids.push(id);
@@ -336,6 +408,50 @@ mod tests {
             }
         }
         assert_eq!(mem.regions().get(r.tcp_ctx).name(), "conn3.tcp_ctx");
+    }
+
+    #[test]
+    fn provision_all_matches_insert_loop() {
+        let config = StackConfig::paper();
+        let (mut mem_a, mut mem_b) = (
+            MemorySystem::new(MemoryConfig::paper_sut(2)),
+            MemorySystem::new(MemoryConfig::paper_sut(2)),
+        );
+        let dma_a: Vec<_> = (0..3)
+            .map(|i| mem_a.add_region(format!("nic{i}.rx_buffers"), 64 * 1024))
+            .collect();
+        let dma_b: Vec<_> = (0..3)
+            .map(|i| mem_b.add_region(format!("nic{i}.rx_buffers"), 64 * 1024))
+            .collect();
+        let mut loop_arena = FlowArena::with_capacity(3);
+        for (i, &dma) in dma_a.iter().enumerate() {
+            loop_arena.insert(ConnectionId::new(i as u32), &mut mem_a, &config, dma, 65536);
+        }
+        let mut bulk_arena = FlowArena::with_capacity(3);
+        bulk_arena.provision_all(&mut mem_b, &config, &dma_b, 65536);
+        assert_eq!(bulk_arena.len(), loop_arena.len());
+        assert_eq!(bulk_arena.live(), loop_arena.live());
+        for s in 0..3 {
+            assert_eq!(bulk_arena.regions[s], loop_arena.regions[s]);
+            assert_eq!(bulk_arena.ids[s], loop_arena.ids[s]);
+            let r = bulk_arena.regions[s];
+            for id in [
+                r.tcp_ctx,
+                r.sock,
+                r.skb_meta,
+                r.skb_data,
+                r.tx_app_buf,
+                r.rx_app_buf,
+            ] {
+                assert_eq!(mem_b.regions().get(id), mem_a.regions().get(id));
+            }
+        }
+        assert_eq!(mem_b.regions().len(), mem_a.regions().len());
+        assert_eq!(mem_b.regions().footprint(), mem_a.regions().footprint());
+        assert_eq!(
+            mem_b.regions().get(loop_arena.regions[2].skb_data).name(),
+            "conn2.skb_data"
+        );
     }
 
     #[test]

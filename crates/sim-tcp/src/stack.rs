@@ -261,10 +261,11 @@ impl TcpStack {
             irq_funcs[vector.index()] = Some(id);
         }
 
+        // One bulk slab call for all per-flow regions — bit-identical
+        // layout to the old per-flow insert loop, without its O(flows)
+        // incremental resizes and format allocations.
         let mut flows = FlowArena::with_capacity(conn_dma.len());
-        for (i, &dma) in conn_dma.iter().enumerate() {
-            flows.insert(ConnectionId::new(i as u32), mem, &config, dma, max_message);
-        }
+        flows.provision_all(mem, &config, conn_dma, max_message);
         let locks = flows
             .ids
             .iter()

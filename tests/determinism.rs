@@ -153,6 +153,50 @@ fn churn_matches_committed_golden_snapshot() {
     compare_or_bless("churn.snap", &lines);
 }
 
+/// Guards the interned-name rendering on the report path: per-flow
+/// region names are stored as compact `RegionName::Indexed` values since
+/// the bulk slab provisioning landed, and the report section that shows
+/// them must resolve each one to exactly the eager `format!` string the
+/// pre-interning code built. The snapshot renders the memory map of a
+/// small flow slab built both ways — byte-identical sections, pinned.
+#[test]
+fn region_names_match_committed_golden_snapshot() {
+    use sim_mem::{MemoryConfig, MemorySystem, RegionName, RegionPlan};
+
+    let fields: [(&str, u64); 6] = [
+        ("tcp_ctx", 1344),
+        ("sock", 1472),
+        ("skb_meta", 4096),
+        ("skb_data", 16384),
+        ("tx_app_buf", 4096),
+        ("rx_app_buf", 4096),
+    ];
+    // The bulk path: one plan, interned names, single slab carve-out.
+    let mut bulk = MemorySystem::new(MemoryConfig::paper_sut(2));
+    let mut plan = RegionPlan::with_capacity(fields.len() * 4);
+    for flow in 0..4u32 {
+        for &(suffix, size) in &fields {
+            plan.add(RegionName::indexed("conn", flow, suffix), size);
+        }
+    }
+    bulk.add_regions_bulk(plan);
+    // The incremental path: one add_region per region, eager strings.
+    let mut incremental = MemorySystem::new(MemoryConfig::paper_sut(2));
+    for flow in 0..4u32 {
+        for &(suffix, size) in &fields {
+            incremental.add_region(format!("conn{flow}.{suffix}"), size);
+        }
+    }
+    let rendered = sim_prof::region_map_report(bulk.regions(), usize::MAX);
+    assert_eq!(
+        rendered,
+        sim_prof::region_map_report(incremental.regions(), usize::MAX),
+        "interned names must render byte-identically to the eager strings"
+    );
+    let lines: Vec<String> = rendered.lines().map(str::to_string).collect();
+    compare_or_bless("region_names.snap", &lines);
+}
+
 #[test]
 fn identical_configs_give_identical_results() {
     let config = ExperimentConfig::paper_sut(Direction::Rx, 4096, AffinityMode::Irq).quick();
